@@ -1,0 +1,77 @@
+// btpub-analyze loads a crawled dataset (JSONL, from btpub-crawl) and
+// prints every table and figure the paper's analysis derives from it.
+// Business classification uses a URL-pattern inspector, since a saved
+// dataset has no live sites left to visit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"btpub/internal/analysis"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/population"
+)
+
+// patternInspector classifies promoted sites from their URL shape when the
+// live site is gone (offline re-analysis of an old dataset).
+type patternInspector struct{}
+
+func (patternInspector) Inspect(url string) (population.BusinessType, string, error) {
+	switch {
+	case strings.Contains(url, "pix"):
+		return population.BusinessImageHosting, "", nil
+	case strings.HasPrefix(url, "forum."):
+		return population.BusinessForum, "", nil
+	case strings.Contains(url, "lightway"):
+		return population.BusinessReligious, "", nil
+	default:
+		return population.BusinessPrivatePortal, "", nil
+	}
+}
+
+func main() {
+	in := flag.String("in", "pb10.jsonl", "dataset path")
+	topK := flag.Int("topk", 0, "top-K publisher cut (0 = the paper's 3% rule)")
+	gap := flag.Duration("gap", 0, "session gap threshold (0 = the paper's ~4h)")
+	flag.Parse()
+
+	ds, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := analysis.New(ds, db, *topK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := ds.Name
+
+	fmt.Println(analysis.RenderSummary([]analysis.DatasetSummary{a.Summary()}))
+	fmt.Println(analysis.RenderSkewness(name, a.Skewness()))
+	fmt.Println(analysis.RenderISPTable(name, a.ISPTable(10)))
+	fmt.Println(analysis.RenderContrast(name, a.ContrastISPs(geoip.OVH, geoip.Comcast)))
+	fmt.Println(analysis.RenderCross(name, a.Facts.Cross(0)))
+	fmt.Println(analysis.RenderContentTypes(name, a.ContentTypes()))
+	fmt.Println(analysis.RenderPopularity(name, a.Popularity()))
+	fmt.Println(analysis.RenderSeeding(name, a.Seeding(*gap)))
+
+	profiles, sums, err := a.Business(patternInspector{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(analysis.RenderBusiness(name, sums))
+	if long, err := a.LongitudinalView(profiles); err == nil {
+		fmt.Println(analysis.RenderLongitudinal(name, long))
+	}
+	fmt.Println(analysis.RenderHostingIncome(name, a.HostingIncomeFor(geoip.OVH)))
+
+	_ = time.Now
+}

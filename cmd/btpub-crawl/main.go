@@ -1,0 +1,47 @@
+// btpub-crawl runs the paper's measurement campaign against the simulated
+// ecosystem and writes the resulting dataset as JSON Lines, one of
+// mn08/pb09/pb10 style.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"btpub/internal/campaign"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "world scale (1.0 = full pb10)")
+	seed := flag.Uint64("seed", 1, "scenario seed")
+	md := flag.Float64("mean-downloads", 250, "mean downloader arrivals per torrent")
+	style := flag.String("style", "pb10", "dataset style: pb10, pb09 or mn08")
+	out := flag.String("out", "", "output dataset path (default <style>.jsonl)")
+	flag.Parse()
+
+	var st campaign.Style
+	switch *style {
+	case "pb10":
+		st = campaign.PB10
+	case "pb09":
+		st = campaign.PB09
+	case "mn08":
+		st = campaign.MN08
+	default:
+		log.Fatalf("unknown style %q", *style)
+	}
+	path := *out
+	if path == "" {
+		path = *style + ".jsonl"
+	}
+	res, err := campaign.Run(campaign.Spec{Scale: *scale, Seed: *seed, MeanDownloads: *md, Style: st})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Dataset.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	stats := res.Crawler.Stats()
+	log.Printf("%s: %d torrents (%d with IP), %d observations, %d distinct IPs, %d queries -> %s",
+		*style, stats.TorrentsSeen, res.Dataset.TorrentsWithIP(),
+		len(res.Dataset.Observations), res.Dataset.DistinctIPs(), stats.TrackerQueries, path)
+}

@@ -1,0 +1,45 @@
+// btpub-experiments regenerates every table and figure of the paper from
+// an end-to-end simulated campaign and writes the paper-vs-measured
+// comparison to EXPERIMENTS.md (and stdout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"btpub/internal/campaign"
+	"btpub/internal/report"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "world scale (1.0 = full pb10)")
+	seed := flag.Uint64("seed", 1, "scenario seed")
+	md := flag.Float64("mean-downloads", 350, "mean downloader arrivals per torrent")
+	out := flag.String("out", "EXPERIMENTS.md", "output file (empty = stdout only)")
+	flag.Parse()
+
+	log.Printf("running pb10-style campaign: scale=%.3f seed=%d meanDownloads=%.0f", *scale, *seed, *md)
+	res, err := campaign.Run(campaign.Spec{Scale: *scale, Seed: *seed, MeanDownloads: *md})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Crawler.Stats()
+	log.Printf("campaign done in %v: %d torrents, %d tracker queries, %d observations, %d distinct IPs",
+		res.Elapsed, st.TorrentsSeen, st.TrackerQueries,
+		len(res.Dataset.Observations), res.Dataset.DistinctIPs())
+
+	rep, err := report.Run(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	body := rep.Render()
+	fmt.Println(body)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}

@@ -1,0 +1,8 @@
+// Package btpub reproduces "Is Content Publishing in BitTorrent Altruistic
+// or Profit-Driven?" (Cuevas et al., ACM CoNEXT 2010) as a runnable Go
+// system: a synthetic BitTorrent ecosystem (portal, tracker, swarms,
+// publisher population), the paper's measurement instrument, and the
+// analysis pipeline that regenerates every table and figure. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds the benchmark harness (bench_test.go).
+package btpub

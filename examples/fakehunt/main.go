@@ -1,0 +1,53 @@
+// Fakehunt: reproduce Section 3.3 — detect the fake-publisher operation
+// behind throwaway accounts, and show the username↔IP cross-analysis plus
+// the index-poisoning shares.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btpub/internal/analysis"
+	"btpub/internal/campaign"
+)
+
+func main() {
+	res, err := campaign.Run(campaign.Spec{Scale: 0.02, MeanDownloads: 250, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := analysis.New(res.Dataset, res.DB, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fakeUsers, fakeTorrents, fakeDownloads := 0, 0, 0
+	for _, u := range a.Groups.Fake {
+		fakeUsers++
+		fakeTorrents += len(u.TorrentIDs)
+		fakeDownloads += u.Downloads
+	}
+	fmt.Printf("fake publishers detected: %d throwaway accounts\n", fakeUsers)
+	fmt.Printf("index poisoning: %.0f%% of published content, %.0f%% of downloads\n",
+		100*float64(fakeTorrents)/float64(a.Facts.TotalTorrents),
+		100*float64(fakeDownloads)/float64(a.Facts.TotalDownloads))
+	fmt.Printf("(the paper: ~1030 accounts, 30%% of content, 25%% of downloads)\n\n")
+
+	fmt.Print(analysis.RenderCross(res.Dataset.Name, a.Facts.Cross(2*a.Groups.TopK)))
+
+	// Verify against ground truth: how many detected fakes really are fake?
+	truth := map[string]bool{}
+	for _, tor := range res.World.Torrents {
+		truth[tor.Username] = res.World.Publishers[tor.PublisherID].Class.IsFake()
+	}
+	tp, fp := 0, 0
+	for _, u := range a.Groups.Fake {
+		if truth[u.Username] {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	fmt.Printf("\nground-truth check: %d/%d detected fakes are real fakes (%d false positives)\n",
+		tp, tp+fp, fp)
+}

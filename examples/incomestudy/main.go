@@ -1,0 +1,52 @@
+// Incomestudy: reproduce Section 5 — classify the top publishers'
+// businesses from the promo URLs in their uploads, then estimate their
+// sites' value, income and visits through the six monitoring services
+// (Tables 4 and 5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btpub/internal/analysis"
+	"btpub/internal/campaign"
+	"btpub/internal/webmon"
+)
+
+func main() {
+	res, err := campaign.Run(campaign.Spec{Scale: 0.02, MeanDownloads: 250, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := analysis.New(res.Dataset, res.DB, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := webmon.NewDirectory(res.World, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiles, sums, err := a.Business(mon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(analysis.RenderBusiness(res.Dataset.Name, sums))
+	fmt.Println()
+	for _, p := range analysis.TopProfiles(profiles) {
+		if p.URL == "" {
+			continue
+		}
+		av, err := mon.Average(p.URL)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%-22s %-24s -> %s\n", p.Username, p.Class, av)
+	}
+	fmt.Println()
+	if long, err := a.LongitudinalView(profiles); err == nil {
+		fmt.Print(analysis.RenderLongitudinal(res.Dataset.Name, long))
+	}
+	if income, err := a.IncomeView(profiles, mon); err == nil {
+		fmt.Print(analysis.RenderIncome(res.Dataset.Name, income))
+	}
+}

@@ -1,0 +1,34 @@
+// Quickstart: simulate a small BitTorrent publishing campaign, crawl it
+// with the paper's methodology, and print the headline result — Figure 1's
+// contribution skew and the major-publisher shares.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"btpub/internal/analysis"
+	"btpub/internal/campaign"
+)
+
+func main() {
+	// A 1%-scale Pirate-Bay-2010 world: ~380 torrents over a virtual month.
+	res, err := campaign.Run(campaign.Spec{Scale: 0.01, MeanDownloads: 200, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawled %d torrents, %d tracker queries, %d distinct downloader IPs (in %v)\n\n",
+		len(res.Dataset.Torrents), res.Crawler.Stats().TrackerQueries,
+		res.Dataset.DistinctIPs(), res.Elapsed)
+
+	a, err := analysis.New(res.Dataset, res.DB, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sk := a.Skewness()
+	fmt.Print(analysis.RenderSkewness(res.Dataset.Name, sk))
+	fmt.Printf("\nThe paper's headline: ~100 publishers are responsible for 2/3 of the\n"+
+		"content and 3/4 of the downloads. Here: %.0f%% of content and %.0f%% of\n"+
+		"downloads come from the fake + top publisher groups.\n",
+		100*sk.TopKShare, 100*sk.TopKDownloadShare)
+}

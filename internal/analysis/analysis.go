@@ -1,0 +1,468 @@
+// Package analysis regenerates every table and figure of the paper's
+// evaluation from a crawled dataset: contribution skewness (Figure 1), the
+// ISP tables (Tables 2–3), the publisher signature (Figures 2–4), the
+// business classification with its longitudinal and income views
+// (Section 5, Tables 4–5) and the hosting-provider income estimate
+// (Section 6).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"btpub/internal/classify"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/population"
+	"btpub/internal/sessions"
+	"btpub/internal/stats"
+)
+
+// Analysis holds the indexed dataset.
+type Analysis struct {
+	DS     *dataset.Dataset
+	DB     *geoip.DB
+	Facts  *classify.Facts
+	Groups *classify.Groups
+	ByID   map[int]*dataset.TorrentRecord
+
+	obsByTorrent map[int][]dataset.Observation
+}
+
+// New indexes a dataset for analysis. topK <= 0 picks the paper's 3 % rule.
+func New(ds *dataset.Dataset, db *geoip.DB, topK int) (*Analysis, error) {
+	if ds == nil || db == nil {
+		return nil, errors.New("analysis: dataset and geo DB required")
+	}
+	facts, err := classify.BuildFacts(ds, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{
+		DS:     ds,
+		DB:     db,
+		Facts:  facts,
+		Groups: facts.BuildGroups(topK, 400),
+		ByID:   ds.ByTorrentID(),
+	}, nil
+}
+
+func (a *Analysis) observations() map[int][]dataset.Observation {
+	if a.obsByTorrent == nil {
+		a.obsByTorrent = a.DS.ObservationsByTorrent()
+	}
+	return a.obsByTorrent
+}
+
+// GroupNames are the figure labels in display order.
+var GroupNames = []string{"All", "Fake", "Top", "Top-HP", "Top-CI"}
+
+// groupMembers resolves a label to its user set.
+func (a *Analysis) groupMembers(label string) []*classify.UserFacts {
+	switch label {
+	case "All":
+		return a.Groups.All
+	case "Fake":
+		return a.Groups.Fake
+	case "Top":
+		return a.Groups.Top
+	case "Top-HP":
+		return a.Groups.TopHP
+	case "Top-CI":
+		return a.Groups.TopCI
+	default:
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — skewness of contribution
+// ---------------------------------------------------------------------
+
+// Skewness is the Figure 1 result.
+type Skewness struct {
+	Curve []stats.SharePoint
+	// TopShare3Pct is the content share of the top 3 % of publishers
+	// (the paper reads ~40 % off the curve).
+	TopShare3Pct float64
+	// TopKShare / TopKDownloadShare quantify the top-K cut (the paper's
+	// "around 100 publishers produce 2/3 of content and 3/4 of downloads"
+	// once fake publishers are included).
+	TopKShare         float64
+	TopKDownloadShare float64
+	Gini              float64
+	Publishers        int
+}
+
+// Skewness computes the contribution distribution.
+func (a *Analysis) Skewness() Skewness {
+	contrib := make([]float64, 0, len(a.Facts.Users))
+	for _, u := range a.Facts.Users {
+		contrib = append(contrib, float64(len(u.TorrentIDs)))
+	}
+	curve := stats.ShareCurve(contrib)
+	out := Skewness{
+		Curve:        curve,
+		TopShare3Pct: stats.ShareAt(curve, 3),
+		Gini:         stats.Gini(contrib),
+		Publishers:   len(contrib),
+	}
+	// Top-K (fake + top) share of content and downloads: the paper's
+	// "2/3 of content, 3/4 of downloads from ~100 publishers" claim is
+	// about the major-publisher set = fake entities' usernames + top
+	// publishers together.
+	major := map[string]bool{}
+	for _, u := range a.Groups.Fake {
+		major[u.Username] = true
+	}
+	for _, u := range a.Groups.Top {
+		major[u.Username] = true
+	}
+	var torrents, downloads int
+	for name := range major {
+		u := a.Facts.Users[name]
+		torrents += len(u.TorrentIDs)
+		downloads += u.Downloads
+	}
+	if a.Facts.TotalTorrents > 0 {
+		out.TopKShare = float64(torrents) / float64(a.Facts.TotalTorrents)
+	}
+	if a.Facts.TotalDownloads > 0 {
+		out.TopKDownloadShare = float64(downloads) / float64(a.Facts.TotalDownloads)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Tables 2 and 3 — publishers per ISP
+// ---------------------------------------------------------------------
+
+// ISPRow is one Table 2 row.
+type ISPRow struct {
+	ISP     string
+	Type    geoip.ISPType
+	Percent float64 // % of identified-publisher content
+}
+
+// ISPTable ranks ISPs by the content their publishers feed (Table 2).
+func (a *Analysis) ISPTable(topN int) []ISPRow {
+	counts := map[string]int{}
+	types := map[string]geoip.ISPType{}
+	total := 0
+	for _, rec := range a.DS.Torrents {
+		if rec.PublisherIP == "" {
+			continue
+		}
+		addr, err := dataset.ParseIP(rec.PublisherIP)
+		if err != nil {
+			continue
+		}
+		r, err := a.DB.Lookup(addr)
+		if err != nil {
+			continue
+		}
+		counts[r.ISP]++
+		types[r.ISP] = r.Type
+		total++
+	}
+	rows := make([]ISPRow, 0, len(counts))
+	for isp, n := range counts {
+		rows = append(rows, ISPRow{
+			ISP:     isp,
+			Type:    types[isp],
+			Percent: 100 * float64(n) / float64(total),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Percent != rows[j].Percent {
+			return rows[i].Percent > rows[j].Percent
+		}
+		return rows[i].ISP < rows[j].ISP
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// ISPContrast is one Table 3 row: the footprint of one ISP's feeders.
+type ISPContrast struct {
+	ISP          string
+	FedTorrents  int
+	IPAddresses  int
+	Slash16s     int
+	GeoLocations int
+}
+
+// ContrastISPs reproduces Table 3 for the named providers (the paper uses
+// OVH vs Comcast).
+func (a *Analysis) ContrastISPs(names ...string) []ISPContrast {
+	out := make([]ISPContrast, len(names))
+	for i, n := range names {
+		out[i].ISP = n
+	}
+	idx := map[string]*ISPContrast{}
+	for i := range out {
+		idx[out[i].ISP] = &out[i]
+	}
+	ips := map[string]map[string]bool{}
+	prefixes := map[string]map[uint32]bool{}
+	locations := map[string]map[string]bool{}
+	for _, rec := range a.DS.Torrents {
+		if rec.PublisherIP == "" {
+			continue
+		}
+		addr, err := dataset.ParseIP(rec.PublisherIP)
+		if err != nil {
+			continue
+		}
+		r, err := a.DB.Lookup(addr)
+		if err != nil {
+			continue
+		}
+		c := idx[r.ISP]
+		if c == nil {
+			continue
+		}
+		c.FedTorrents++
+		if ips[r.ISP] == nil {
+			ips[r.ISP] = map[string]bool{}
+			prefixes[r.ISP] = map[uint32]bool{}
+			locations[r.ISP] = map[string]bool{}
+		}
+		ips[r.ISP][rec.PublisherIP] = true
+		if p, err := geoip.Slash16(addr); err == nil {
+			prefixes[r.ISP][p] = true
+		}
+		locations[r.ISP][r.Country+"/"+r.City] = true
+	}
+	for i := range out {
+		n := out[i].ISP
+		out[i].IPAddresses = len(ips[n])
+		out[i].Slash16s = len(prefixes[n])
+		out[i].GeoLocations = len(locations[n])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — content types per group
+// ---------------------------------------------------------------------
+
+// ContentTypes maps group label -> category label -> share.
+func (a *Analysis) ContentTypes() map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, label := range GroupNames {
+		members := a.groupMembers(label)
+		counts := map[string]int{}
+		total := 0
+		for _, u := range members {
+			for _, tid := range u.TorrentIDs {
+				rec := a.ByID[tid]
+				if rec == nil {
+					continue
+				}
+				counts[NormalizeCategory(rec.Category)]++
+				total++
+			}
+		}
+		shares := map[string]float64{}
+		for cat, n := range counts {
+			shares[cat] = float64(n) / float64(total)
+		}
+		out[label] = shares
+	}
+	return out
+}
+
+// NormalizeCategory folds portal category labels to Figure 2's groups.
+func NormalizeCategory(portalCategory string) string {
+	c := portalCategory
+	if i := strings.Index(c, ">"); i >= 0 {
+		c = strings.TrimSpace(c[i+1:])
+	}
+	switch c {
+	case population.Movies.String(), population.TVShows.String(), population.Porn.String():
+		return "Video"
+	case population.Music.String():
+		return "Audio"
+	case population.Apps.String():
+		return "Software"
+	case population.Games.String():
+		return "Games"
+	case population.Books.String():
+		return "Books"
+	default:
+		return "Other"
+	}
+}
+
+// VideoShare sums the Video share for one group from ContentTypes output.
+func VideoShare(types map[string]float64) float64 { return types["Video"] }
+
+// ---------------------------------------------------------------------
+// Figure 3 — popularity per group
+// ---------------------------------------------------------------------
+
+// Popularity summarises avg downloaders per torrent per publisher for each
+// group (Figure 3's boxes).
+func (a *Analysis) Popularity() map[string]stats.FiveNum {
+	out := map[string]stats.FiveNum{}
+	for _, label := range GroupNames {
+		var vals []float64
+		for _, u := range a.groupMembers(label) {
+			if len(u.TorrentIDs) == 0 {
+				continue
+			}
+			vals = append(vals, float64(u.Downloads)/float64(len(u.TorrentIDs)))
+		}
+		out[label] = stats.Summarize(vals)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 — seeding behaviour per group
+// ---------------------------------------------------------------------
+
+// SeedingBehaviour bundles the three Figure 4 panels.
+type SeedingBehaviour struct {
+	// AvgSeedTimeHours: average seeding time per torrent per publisher (4a).
+	AvgSeedTimeHours map[string]stats.FiveNum
+	// AvgParallel: average number of torrents seeded in parallel (4b).
+	AvgParallel map[string]stats.FiveNum
+	// SessionHours: aggregated session time per publisher (4c).
+	SessionHours map[string]stats.FiveNum
+	// Estimated publishers per group (those with identified IPs).
+	Covered map[string]int
+}
+
+// Seeding estimates publisher seeding behaviour from tracker sightings of
+// the publishers' identified IPs, using the Appendix A session estimator
+// with the given gap threshold (zero = the paper's ~4 h).
+func (a *Analysis) Seeding(gap time.Duration) SeedingBehaviour {
+	est := sessions.Estimator{Gap: gap, MinSession: 15 * time.Minute}
+	obs := a.observations()
+	out := SeedingBehaviour{
+		AvgSeedTimeHours: map[string]stats.FiveNum{},
+		AvgParallel:      map[string]stats.FiveNum{},
+		SessionHours:     map[string]stats.FiveNum{},
+		Covered:          map[string]int{},
+	}
+	for _, label := range GroupNames {
+		var seedTimes, parallels, sessionTotals []float64
+		covered := 0
+		for _, u := range a.groupMembers(label) {
+			if len(u.IPs) == 0 {
+				continue
+			}
+			ipset := map[string]bool{}
+			for _, ip := range u.IPs {
+				ipset[ip] = true
+			}
+			var perTorrent [][]sessions.Session
+			var all []sessions.Session
+			var torrentHours []float64
+			for _, tid := range u.TorrentIDs {
+				var sightings []time.Time
+				for _, o := range obs[tid] {
+					if ipset[o.IP] {
+						sightings = append(sightings, o.At)
+					}
+				}
+				if len(sightings) == 0 {
+					continue
+				}
+				ss := est.Stitch(sightings)
+				perTorrent = append(perTorrent, ss)
+				all = append(all, ss...)
+				torrentHours = append(torrentHours, sessions.TotalDuration(ss).Hours())
+			}
+			if len(perTorrent) == 0 {
+				continue
+			}
+			covered++
+			seedTimes = append(seedTimes, stats.Mean(torrentHours))
+			parallels = append(parallels, sessions.AvgParallel(perTorrent))
+			sessionTotals = append(sessionTotals,
+				sessions.TotalDuration(sessions.Merge(all)).Hours())
+		}
+		out.AvgSeedTimeHours[label] = stats.Summarize(seedTimes)
+		out.AvgParallel[label] = stats.Summarize(parallels)
+		out.SessionHours[label] = stats.Summarize(sessionTotals)
+		out.Covered[label] = covered
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Section 6 — hosting-provider income
+// ---------------------------------------------------------------------
+
+// HostingIncome estimates a hosting provider's monthly income from
+// publisher-rented servers (Section 6's OVH estimate: distinct publisher
+// IPs × monthly server price).
+type HostingIncome struct {
+	ISP              string
+	PublisherServers int
+	MonthlyEUR       float64
+}
+
+// HostingIncomeFor computes the estimate at the paper's 300 EUR/month.
+func (a *Analysis) HostingIncomeFor(isp string) HostingIncome {
+	servers := map[string]bool{}
+	for _, rec := range a.DS.Torrents {
+		if rec.PublisherIP == "" {
+			continue
+		}
+		addr, err := dataset.ParseIP(rec.PublisherIP)
+		if err != nil {
+			continue
+		}
+		if r, err := a.DB.Lookup(addr); err == nil && r.ISP == isp {
+			servers[rec.PublisherIP] = true
+		}
+	}
+	return HostingIncome{
+		ISP:              isp,
+		PublisherServers: len(servers),
+		MonthlyEUR:       float64(len(servers)) * 300,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — dataset description
+// ---------------------------------------------------------------------
+
+// DatasetSummary is one Table 1 row.
+type DatasetSummary struct {
+	Name              string
+	Start, End        time.Time
+	TorrentsUsername  int
+	TorrentsIP        int
+	DistinctIPs       int
+	TotalObservations int
+}
+
+// Summary computes the Table 1 row for this dataset.
+func (a *Analysis) Summary() DatasetSummary {
+	return DatasetSummary{
+		Name:              a.DS.Name,
+		Start:             a.DS.Start,
+		End:               a.DS.End,
+		TorrentsUsername:  a.DS.TorrentsWithUsername(),
+		TorrentsIP:        a.DS.TorrentsWithIP(),
+		DistinctIPs:       a.DS.DistinctIPs(),
+		TotalObservations: len(a.DS.Observations),
+	}
+}
+
+// String implements fmt.Stringer.
+func (d DatasetSummary) String() string {
+	return fmt.Sprintf("%s: %s..%s, torrents(user/IP)=%d/%d, distinct IPs=%d",
+		d.Name, d.Start.Format("2006-01-02"), d.End.Format("2006-01-02"),
+		d.TorrentsUsername, d.TorrentsIP, d.DistinctIPs)
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"btpub/internal/classify"
+	"btpub/internal/stats"
+)
+
+// RenderSummary renders Table 1 rows for several datasets.
+func RenderSummary(rows []DatasetSummary) string {
+	t := &stats.Table{
+		Title:   "Table 1: Datasets Description",
+		Columns: []string{"Dataset", "Start", "End", "#Torrents (user/IP)", "#IP addresses"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			r.Start.Format("02-Jan-06"), r.End.Format("02-Jan-06"),
+			fmt.Sprintf("%d/%d", r.TorrentsUsername, r.TorrentsIP),
+			r.DistinctIPs)
+	}
+	return t.Render()
+}
+
+// RenderSkewness renders Figure 1 plus its headline numbers.
+func RenderSkewness(name string, sk Skewness) string {
+	var b strings.Builder
+	b.WriteString(stats.RenderCurve(
+		fmt.Sprintf("Figure 1 (%s): content published by top x%% of publishers", name),
+		"% of publishers", "% of published content", sk.Curve, 60, 12))
+	fmt.Fprintf(&b, "publishers=%d  top3%%→%.1f%% of content  gini=%.3f\n",
+		sk.Publishers, sk.TopShare3Pct, sk.Gini)
+	fmt.Fprintf(&b, "major publishers (fake+top): %.1f%% of content, %.1f%% of downloads\n",
+		100*sk.TopKShare, 100*sk.TopKDownloadShare)
+	return b.String()
+}
+
+// RenderISPTable renders Table 2.
+func RenderISPTable(name string, rows []ISPRow) string {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 2 (%s): Content Publishers Distribution per ISP", name),
+		Columns: []string{"ISP", "Type", "%"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.ISP, r.Type.String(), fmt.Sprintf("%.2f", r.Percent))
+	}
+	return t.Render()
+}
+
+// RenderContrast renders Table 3.
+func RenderContrast(name string, rows []ISPContrast) string {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 3 (%s): hosting vs commercial feeders", name),
+		Columns: []string{"ISP", "Fed torrents", "IP addr", "/16 Pref.", "Geo Loc."},
+	}
+	for _, r := range rows {
+		t.AddRow(r.ISP, r.FedTorrents, r.IPAddresses, r.Slash16s, r.GeoLocations)
+	}
+	return t.Render()
+}
+
+// RenderContentTypes renders Figure 2 as a share table.
+func RenderContentTypes(name string, types map[string]map[string]float64) string {
+	cats := []string{"Video", "Audio", "Software", "Games", "Books", "Other"}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Figure 2 (%s): type of published content per group (%%)", name),
+		Columns: append([]string{"Group"}, cats...),
+	}
+	for _, g := range GroupNames {
+		row := []interface{}{g}
+		for _, c := range cats {
+			row = append(row, fmt.Sprintf("%.1f", 100*types[g][c]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// RenderPopularity renders Figure 3.
+func RenderPopularity(name string, pop map[string]stats.FiveNum) string {
+	return stats.RenderBoxes(
+		fmt.Sprintf("Figure 3 (%s): avg downloaders per torrent per publisher", name),
+		"downloaders", GroupNames, pop, 60)
+}
+
+// RenderSeeding renders the three Figure 4 panels.
+func RenderSeeding(name string, sb SeedingBehaviour) string {
+	var b strings.Builder
+	b.WriteString(stats.RenderBoxes(
+		fmt.Sprintf("Figure 4(a) (%s): avg seeding time per torrent per publisher (hours)", name),
+		"hours", GroupNames, sb.AvgSeedTimeHours, 60))
+	b.WriteByte('\n')
+	b.WriteString(stats.RenderBoxes(
+		fmt.Sprintf("Figure 4(b) (%s): avg torrents seeded in parallel per publisher", name),
+		"torrents", GroupNames, sb.AvgParallel, 60))
+	b.WriteByte('\n')
+	b.WriteString(stats.RenderBoxes(
+		fmt.Sprintf("Figure 4(c) (%s): aggregated session time per publisher (hours)", name),
+		"hours", GroupNames, sb.SessionHours, 60))
+	return b.String()
+}
+
+// RenderBusiness renders the Section 5.1 classification summary.
+func RenderBusiness(name string, sums []BusinessSummary) string {
+	t := &stats.Table{
+		Title: fmt.Sprintf("Section 5.1 (%s): business classification of top publishers", name),
+		Columns: []string{"Class", "Publishers", "% of top", "% content", "% downloads",
+			"textbox use", "lang-specific", "spanish"},
+	}
+	for _, s := range sums {
+		t.AddRow(s.Class.String(), s.Publishers,
+			fmt.Sprintf("%.0f%%", 100*s.TopShare),
+			fmt.Sprintf("%.1f%%", 100*s.ContentShare),
+			fmt.Sprintf("%.1f%%", 100*s.DownloadShare),
+			fmt.Sprintf("%.0f%%", 100*s.TextboxShare),
+			s.LanguageSpecific, s.Spanish)
+	}
+	return t.Render()
+}
+
+// RenderLongitudinal renders Table 4.
+func RenderLongitudinal(name string, rows []Longitudinal) string {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 4 (%s): lifetime and publishing rate (min/avg/max)", name),
+		Columns: []string{"Class", "Lifetime (days)", "Rate (contents/day)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Class.String(),
+			fmt.Sprintf("%.0f/%.0f/%.0f", r.LifetimeDays.Min, r.LifetimeDays.Mean, r.LifetimeDays.Max),
+			fmt.Sprintf("%.2f/%.2f/%.2f", r.PublishingRate.Min, r.PublishingRate.Mean, r.PublishingRate.Max))
+	}
+	return t.Render()
+}
+
+// RenderIncome renders Table 5.
+func RenderIncome(name string, rows []Income) string {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 5 (%s): promoted web sites (min/median/avg/max)", name),
+		Columns: []string{"Class", "Sites", "Value ($)", "Daily income ($)", "Daily visits"},
+	}
+	f := func(m stats.MinMedianMeanMax) string {
+		return fmt.Sprintf("%.0f/%.0f/%.0f/%.0f", m.Min, m.Median, m.Mean, m.Max)
+	}
+	for _, r := range rows {
+		t.AddRow(r.Class.String(), r.Sites, f(r.ValueUSD), f(r.DailyIncome), f(r.DailyVisits))
+	}
+	return t.Render()
+}
+
+// RenderCross renders the Section 3.3 cross-analysis.
+func RenderCross(name string, ca classify.CrossAnalysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 3.3 (%s): username ↔ IP cross-analysis\n", name)
+	fmt.Fprintf(&b, "top-%d IPs: %.0f%% used by multiple usernames (fake fingerprint)\n",
+		ca.TopIPs, 100*ca.MultiUserIPShare)
+	fmt.Fprintf(&b, "top-%d usernames: single-IP %.0f%% | hosting pool %.0f%% (avg %.1f IPs) | "+
+		"dynamic single-ISP %.0f%% (avg %.1f IPs) | multi-ISP %.0f%% (avg %.1f IPs)\n",
+		ca.TopUsernames, 100*ca.SingleIPShare,
+		100*ca.HostingPoolShare, ca.HostingPoolAvgIPs,
+		100*ca.DynamicShare, ca.DynamicAvgIPs,
+		100*ca.MultiISPShare, ca.MultiISPAvgIPs)
+	return b.String()
+}
+
+// RenderHostingIncome renders the Section 6 estimate.
+func RenderHostingIncome(name string, hi HostingIncome) string {
+	return fmt.Sprintf("Section 6 (%s): %s hosts %d publisher servers ≈ %.1fK EUR/month\n",
+		name, hi.ISP, hi.PublisherServers, hi.MonthlyEUR/1000)
+}

@@ -1,0 +1,593 @@
+// Package bencode implements the bencoding format defined by BEP 3.
+//
+// Bencoding has four kinds of values: byte strings ("4:spam"), integers
+// ("i42e"), lists ("l...e") and dictionaries ("d...e", keys are byte strings
+// sorted lexicographically). It is used for .torrent metainfo files and HTTP
+// tracker responses.
+//
+// The package offers both a dynamic API (Decode into interface{}, Encode any
+// value) and a reflective Marshal/Unmarshal API with `bencode` struct tags
+// mirroring encoding/json conventions ("name", "name,omitempty", "-").
+package bencode
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// Dict is a decoded bencode dictionary.
+type Dict = map[string]interface{}
+
+// List is a decoded bencode list.
+type List = []interface{}
+
+var (
+	// ErrInvalid reports structurally invalid input.
+	ErrInvalid = errors.New("bencode: invalid input")
+	// errTrailing reports extra bytes after a complete value.
+	errTrailing = errors.New("bencode: trailing data after value")
+)
+
+// maxStringLen caps declared string lengths to guard against hostile input.
+const maxStringLen = 1 << 28 // 256 MiB
+
+// ---------------------------------------------------------------------------
+// Decoder
+
+// Decoder reads bencoded values from a stream.
+type Decoder struct {
+	r *bufio.Reader
+	n int64 // bytes consumed
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// BytesConsumed reports how many bytes of input have been consumed.
+func (d *Decoder) BytesConsumed() int64 { return d.n }
+
+func (d *Decoder) readByte() (byte, error) {
+	b, err := d.r.ReadByte()
+	if err == nil {
+		d.n++
+	}
+	return b, err
+}
+
+func (d *Decoder) unreadByte() error {
+	err := d.r.UnreadByte()
+	if err == nil {
+		d.n--
+	}
+	return err
+}
+
+// Decode reads the next value: string -> string, integer -> int64,
+// list -> List, dictionary -> Dict.
+func (d *Decoder) Decode() (interface{}, error) {
+	b, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case b == 'i':
+		return d.decodeInt('e')
+	case b >= '0' && b <= '9':
+		if err := d.unreadByte(); err != nil {
+			return nil, err
+		}
+		return d.decodeString()
+	case b == 'l':
+		var out List = List{}
+		for {
+			nb, err := d.readByte()
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			if nb == 'e' {
+				return out, nil
+			}
+			if err := d.unreadByte(); err != nil {
+				return nil, err
+			}
+			v, err := d.Decode()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+	case b == 'd':
+		out := Dict{}
+		prevKey := ""
+		first := true
+		for {
+			nb, err := d.readByte()
+			if err != nil {
+				return nil, unexpectedEOF(err)
+			}
+			if nb == 'e' {
+				return out, nil
+			}
+			if err := d.unreadByte(); err != nil {
+				return nil, err
+			}
+			key, err := d.decodeString()
+			if err != nil {
+				return nil, fmt.Errorf("bencode: dict key: %w", err)
+			}
+			if !first && key <= prevKey {
+				// Accept but do not reject unsorted keys: real-world
+				// torrents are occasionally non-canonical. Duplicate keys
+				// are an error.
+				if key == prevKey {
+					return nil, fmt.Errorf("%w: duplicate dict key %q", ErrInvalid, key)
+				}
+			}
+			first = false
+			prevKey = key
+			v, err := d.Decode()
+			if err != nil {
+				return nil, fmt.Errorf("bencode: value for key %q: %w", key, err)
+			}
+			out[key] = v
+		}
+	default:
+		return nil, fmt.Errorf("%w: unexpected byte %q", ErrInvalid, b)
+	}
+}
+
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func (d *Decoder) decodeInt(term byte) (int64, error) {
+	var buf []byte
+	for {
+		b, err := d.readByte()
+		if err != nil {
+			return 0, unexpectedEOF(err)
+		}
+		if b == term {
+			break
+		}
+		buf = append(buf, b)
+		if len(buf) > 20 {
+			return 0, fmt.Errorf("%w: integer too long", ErrInvalid)
+		}
+	}
+	s := string(buf)
+	if s == "" {
+		return 0, fmt.Errorf("%w: empty integer", ErrInvalid)
+	}
+	if s == "-0" || (len(s) > 1 && s[0] == '0') || (len(s) > 2 && s[0] == '-' && s[1] == '0') {
+		return 0, fmt.Errorf("%w: non-canonical integer %q", ErrInvalid, s)
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad integer %q", ErrInvalid, s)
+	}
+	return v, nil
+}
+
+func (d *Decoder) decodeString() (string, error) {
+	var lenBuf []byte
+	for {
+		b, err := d.readByte()
+		if err != nil {
+			return "", unexpectedEOF(err)
+		}
+		if b == ':' {
+			break
+		}
+		if b < '0' || b > '9' {
+			return "", fmt.Errorf("%w: bad string length byte %q", ErrInvalid, b)
+		}
+		lenBuf = append(lenBuf, b)
+		if len(lenBuf) > 12 {
+			return "", fmt.Errorf("%w: string length too long", ErrInvalid)
+		}
+	}
+	if len(lenBuf) == 0 {
+		return "", fmt.Errorf("%w: missing string length", ErrInvalid)
+	}
+	if len(lenBuf) > 1 && lenBuf[0] == '0' {
+		return "", fmt.Errorf("%w: non-canonical string length %q", ErrInvalid, lenBuf)
+	}
+	n, err := strconv.ParseInt(string(lenBuf), 10, 64)
+	if err != nil || n < 0 || n > maxStringLen {
+		return "", fmt.Errorf("%w: bad string length %q", ErrInvalid, lenBuf)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", unexpectedEOF(err)
+	}
+	d.n += n
+	return string(buf), nil
+}
+
+// Decode parses a single bencoded value from data, rejecting trailing bytes.
+func Decode(data []byte) (interface{}, error) {
+	d := NewDecoder(bytes.NewReader(data))
+	v, err := d.Decode()
+	if err != nil {
+		return nil, err
+	}
+	if d.BytesConsumed() != int64(len(data)) {
+		return nil, errTrailing
+	}
+	return v, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoder
+
+// Encoder writes bencoded values to a stream.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes v in bencoded form. Supported types: string, []byte,
+// all integer kinds, bool (as 0/1), maps with string keys, slices, arrays,
+// structs (honouring `bencode` tags) and pointers to any of these. Nil
+// pointers inside structs are skipped; a top-level nil is an error.
+func (e *Encoder) Encode(v interface{}) error {
+	if v == nil {
+		return errors.New("bencode: cannot encode nil")
+	}
+	return e.encodeValue(reflect.ValueOf(v))
+}
+
+func (e *Encoder) encodeValue(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return errors.New("bencode: cannot encode nil pointer/interface")
+		}
+		return e.encodeValue(rv.Elem())
+	case reflect.String:
+		return e.writeString(rv.String())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return e.writeInt(rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u := rv.Uint()
+		if u > 1<<62 {
+			return fmt.Errorf("bencode: uint %d overflows int64", u)
+		}
+		return e.writeInt(int64(u))
+	case reflect.Bool:
+		if rv.Bool() {
+			return e.writeInt(1)
+		}
+		return e.writeInt(0)
+	case reflect.Slice, reflect.Array:
+		if rv.Kind() == reflect.Slice && rv.Type().Elem().Kind() == reflect.Uint8 {
+			return e.writeBytes(rv.Bytes())
+		}
+		if _, err := io.WriteString(e.w, "l"); err != nil {
+			return err
+		}
+		for i := 0; i < rv.Len(); i++ {
+			if err := e.encodeValue(rv.Index(i)); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(e.w, "e")
+		return err
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return fmt.Errorf("bencode: map key type %s not supported", rv.Type().Key())
+		}
+		keys := make([]string, 0, rv.Len())
+		for _, k := range rv.MapKeys() {
+			keys = append(keys, k.String())
+		}
+		sort.Strings(keys)
+		if _, err := io.WriteString(e.w, "d"); err != nil {
+			return err
+		}
+		for _, k := range keys {
+			if err := e.writeString(k); err != nil {
+				return err
+			}
+			if err := e.encodeValue(rv.MapIndex(reflect.ValueOf(k).Convert(rv.Type().Key()))); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(e.w, "e")
+		return err
+	case reflect.Struct:
+		fields, err := structFields(rv)
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(e.w, "d"); err != nil {
+			return err
+		}
+		for _, f := range fields {
+			if err := e.writeString(f.name); err != nil {
+				return err
+			}
+			if err := e.encodeValue(f.value); err != nil {
+				return err
+			}
+		}
+		_, err = io.WriteString(e.w, "e")
+		return err
+	default:
+		return fmt.Errorf("bencode: unsupported type %s", rv.Type())
+	}
+}
+
+func (e *Encoder) writeInt(v int64) error {
+	_, err := fmt.Fprintf(e.w, "i%de", v)
+	return err
+}
+
+func (e *Encoder) writeString(s string) error {
+	if _, err := io.WriteString(e.w, strconv.Itoa(len(s))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(e.w, ":"); err != nil {
+		return err
+	}
+	_, err := io.WriteString(e.w, s)
+	return err
+}
+
+func (e *Encoder) writeBytes(b []byte) error {
+	if _, err := io.WriteString(e.w, strconv.Itoa(len(b))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(e.w, ":"); err != nil {
+		return err
+	}
+	_, err := e.w.Write(b)
+	return err
+}
+
+type encodedField struct {
+	name  string
+	value reflect.Value
+}
+
+func structFields(rv reflect.Value) ([]encodedField, error) {
+	t := rv.Type()
+	var out []encodedField
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			continue
+		}
+		name, omitempty, skip := parseTag(sf)
+		if skip {
+			continue
+		}
+		fv := rv.Field(i)
+		if omitempty && isEmpty(fv) {
+			continue
+		}
+		if fv.Kind() == reflect.Pointer && fv.IsNil() {
+			continue
+		}
+		out = append(out, encodedField{name: name, value: fv})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	for i := 1; i < len(out); i++ {
+		if out[i].name == out[i-1].name {
+			return nil, fmt.Errorf("bencode: duplicate field name %q in %s", out[i].name, t)
+		}
+	}
+	return out, nil
+}
+
+func parseTag(sf reflect.StructField) (name string, omitempty, skip bool) {
+	tag := sf.Tag.Get("bencode")
+	if tag == "-" {
+		return "", false, true
+	}
+	name = sf.Name
+	if tag != "" {
+		parts := splitTag(tag)
+		if parts[0] != "" {
+			name = parts[0]
+		}
+		for _, opt := range parts[1:] {
+			if opt == "omitempty" {
+				omitempty = true
+			}
+		}
+	}
+	return name, omitempty, false
+}
+
+func splitTag(tag string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i <= len(tag); i++ {
+		if i == len(tag) || tag[i] == ',' {
+			parts = append(parts, tag[start:i])
+			start = i + 1
+		}
+	}
+	return parts
+}
+
+func isEmpty(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.String, reflect.Slice, reflect.Map, reflect.Array:
+		return v.Len() == 0
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return v.Int() == 0
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return v.Uint() == 0
+	case reflect.Bool:
+		return !v.Bool()
+	case reflect.Pointer, reflect.Interface:
+		return v.IsNil()
+	}
+	return false
+}
+
+// Encode renders v as a bencoded byte slice.
+func Encode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ---------------------------------------------------------------------------
+// Unmarshal
+
+// Unmarshal decodes data into out, which must be a non-nil pointer.
+// Supported targets mirror Encode: strings, []byte, integer kinds, bool,
+// maps with string keys, slices, structs with `bencode` tags, pointers and
+// interface{} (which receives the dynamic form).
+func Unmarshal(data []byte, out interface{}) error {
+	v, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return errors.New("bencode: Unmarshal target must be a non-nil pointer")
+	}
+	return assign(rv.Elem(), v)
+}
+
+// Marshal is shorthand for Encode.
+func Marshal(v interface{}) ([]byte, error) { return Encode(v) }
+
+func assign(dst reflect.Value, src interface{}) error {
+	if !dst.CanSet() {
+		return fmt.Errorf("bencode: cannot set %s", dst.Type())
+	}
+	switch dst.Kind() {
+	case reflect.Interface:
+		dst.Set(reflect.ValueOf(src))
+		return nil
+	case reflect.Pointer:
+		if dst.IsNil() {
+			dst.Set(reflect.New(dst.Type().Elem()))
+		}
+		return assign(dst.Elem(), src)
+	case reflect.String:
+		s, ok := src.(string)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		dst.SetString(s)
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, ok := src.(int64)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		if dst.OverflowInt(n) {
+			return fmt.Errorf("bencode: %d overflows %s", n, dst.Type())
+		}
+		dst.SetInt(n)
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, ok := src.(int64)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		if n < 0 || dst.OverflowUint(uint64(n)) {
+			return fmt.Errorf("bencode: %d overflows %s", n, dst.Type())
+		}
+		dst.SetUint(uint64(n))
+		return nil
+	case reflect.Bool:
+		n, ok := src.(int64)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		dst.SetBool(n != 0)
+		return nil
+	case reflect.Slice:
+		if dst.Type().Elem().Kind() == reflect.Uint8 {
+			s, ok := src.(string)
+			if !ok {
+				return typeErr(dst, src)
+			}
+			dst.SetBytes([]byte(s))
+			return nil
+		}
+		list, ok := src.(List)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		out := reflect.MakeSlice(dst.Type(), len(list), len(list))
+		for i, item := range list {
+			if err := assign(out.Index(i), item); err != nil {
+				return fmt.Errorf("bencode: list index %d: %w", i, err)
+			}
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Map:
+		d, ok := src.(Dict)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		if dst.Type().Key().Kind() != reflect.String {
+			return fmt.Errorf("bencode: map key type %s not supported", dst.Type().Key())
+		}
+		out := reflect.MakeMapWithSize(dst.Type(), len(d))
+		for k, item := range d {
+			ev := reflect.New(dst.Type().Elem()).Elem()
+			if err := assign(ev, item); err != nil {
+				return fmt.Errorf("bencode: map key %q: %w", k, err)
+			}
+			out.SetMapIndex(reflect.ValueOf(k).Convert(dst.Type().Key()), ev)
+		}
+		dst.Set(out)
+		return nil
+	case reflect.Struct:
+		d, ok := src.(Dict)
+		if !ok {
+			return typeErr(dst, src)
+		}
+		t := dst.Type()
+		for i := 0; i < t.NumField(); i++ {
+			sf := t.Field(i)
+			if !sf.IsExported() {
+				continue
+			}
+			name, _, skip := parseTag(sf)
+			if skip {
+				continue
+			}
+			item, present := d[name]
+			if !present {
+				continue
+			}
+			if err := assign(dst.Field(i), item); err != nil {
+				return fmt.Errorf("bencode: field %q: %w", name, err)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bencode: unsupported target type %s", dst.Type())
+	}
+}
+
+func typeErr(dst reflect.Value, src interface{}) error {
+	return fmt.Errorf("bencode: cannot unmarshal %T into %s", src, dst.Type())
+}

@@ -1,0 +1,406 @@
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeString(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"4:spam", "spam"},
+		{"0:", ""},
+		{"11:hello world", "hello world"},
+	} {
+		v, err := Decode([]byte(tc.in))
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", tc.in, err)
+		}
+		if v != tc.want {
+			t.Fatalf("Decode(%q) = %v, want %q", tc.in, v, tc.want)
+		}
+	}
+}
+
+func TestDecodeInt(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"i42e", 42},
+		{"i0e", 0},
+		{"i-13e", -13},
+		{"i9223372036854775807e", 1<<63 - 1},
+	} {
+		v, err := Decode([]byte(tc.in))
+		if err != nil {
+			t.Fatalf("Decode(%q): %v", tc.in, err)
+		}
+		if v != tc.want {
+			t.Fatalf("Decode(%q) = %v, want %d", tc.in, v, tc.want)
+		}
+	}
+}
+
+func TestDecodeList(t *testing.T) {
+	v, err := Decode([]byte("l4:spami42ee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := List{"spam", int64(42)}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v, want %#v", v, want)
+	}
+}
+
+func TestDecodeEmptyContainers(t *testing.T) {
+	v, err := Decode([]byte("le"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := v.(List); !ok || len(l) != 0 {
+		t.Fatalf("empty list decoded as %#v", v)
+	}
+	v, err = Decode([]byte("de"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := v.(Dict); !ok || len(d) != 0 {
+		t.Fatalf("empty dict decoded as %#v", v)
+	}
+}
+
+func TestDecodeDict(t *testing.T) {
+	v, err := Decode([]byte("d3:cow3:moo4:spam4:eggse"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Dict{"cow": "moo", "spam": "eggs"}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v, want %#v", v, want)
+	}
+}
+
+func TestDecodeNested(t *testing.T) {
+	v2, err := Decode([]byte("d4:infod6:lengthi100e4:name8:file.avie5:nodesli1ei2eee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := v2.(Dict)
+	info := d["info"].(Dict)
+	if info["length"] != int64(100) || info["name"] != "file.avi" {
+		t.Fatalf("nested decode wrong: %#v", d)
+	}
+	if nodes := d["nodes"].(List); len(nodes) != 2 || nodes[0] != int64(1) {
+		t.Fatalf("nested list wrong: %#v", d["nodes"])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                       // empty
+		"i42",                    // unterminated int
+		"ie",                     // empty int
+		"i-0e",                   // negative zero
+		"i03e",                   // leading zero
+		"iabce",                  // non-digit
+		"5:spam",                 // short string
+		"4spam",                  // missing colon... actually '4spam' -> bad byte
+		"l4:spam",                // unterminated list
+		"d3:cow",                 // unterminated dict
+		"d3:cow3:moo3:cow3:mooe", // duplicate key
+		"x",                      // unknown prefix
+		"-4:oops",                // negative string length prefix
+		"01:a",                   // non-canonical string length
+	}
+	for _, in := range cases {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	if _, err := Decode([]byte("i42ei43e")); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestDecoderStreamsMultipleValues(t *testing.T) {
+	d := NewDecoder(strings.NewReader("i1e4:spami2e"))
+	var got []interface{}
+	for {
+		v, err := d.Decode()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, v)
+	}
+	want := []interface{}{int64(1), "spam", int64(2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream decode = %#v, want %#v", got, want)
+	}
+}
+
+func TestEncodePrimitives(t *testing.T) {
+	for _, tc := range []struct {
+		in   interface{}
+		want string
+	}{
+		{"spam", "4:spam"},
+		{42, "i42e"},
+		{int64(-7), "i-7e"},
+		{uint16(9), "i9e"},
+		{true, "i1e"},
+		{false, "i0e"},
+		{[]byte{0x01, 0x02}, "2:\x01\x02"},
+		{[]string{"a", "bb"}, "l1:a2:bbe"},
+		{map[string]int{"b": 2, "a": 1}, "d1:ai1e1:bi2ee"},
+	} {
+		got, err := Encode(tc.in)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", tc.in, err)
+		}
+		if string(got) != tc.want {
+			t.Fatalf("Encode(%#v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeSortsMapKeys(t *testing.T) {
+	m := map[string]string{"zz": "1", "aa": "2", "mm": "3"}
+	got, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "d2:aa1:22:mm1:32:zz1:1e"
+	if string(got) != want {
+		t.Fatalf("Encode map = %q, want %q", got, want)
+	}
+}
+
+type torrentFile struct {
+	Announce string `bencode:"announce"`
+	Info     info   `bencode:"info"`
+	Comment  string `bencode:"comment,omitempty"`
+	Ignored  string `bencode:"-"`
+	Private  bool   `bencode:"private,omitempty"`
+}
+
+type info struct {
+	Name        string `bencode:"name"`
+	Length      int64  `bencode:"length"`
+	PieceLength int64  `bencode:"piece length"`
+	Pieces      []byte `bencode:"pieces"`
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	in := torrentFile{
+		Announce: "http://tracker.example/announce",
+		Info: info{
+			Name:        "file.avi",
+			Length:      1 << 20,
+			PieceLength: 1 << 18,
+			Pieces:      bytes.Repeat([]byte{0xAB}, 20),
+		},
+		Ignored: "must not appear",
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("must not appear")) {
+		t.Fatal("ignored field was encoded")
+	}
+	if bytes.Contains(data, []byte("comment")) {
+		t.Fatal("omitempty field was encoded when empty")
+	}
+	var out torrentFile
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	in.Ignored = ""
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, out)
+	}
+}
+
+func TestStructFieldOrderIsCanonical(t *testing.T) {
+	type s struct {
+		Zeta  int `bencode:"zeta"`
+		Alpha int `bencode:"alpha"`
+	}
+	data, err := Marshal(s{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "d5:alphai2e4:zetai1ee" {
+		t.Fatalf("struct encoding not canonical: %q", data)
+	}
+}
+
+func TestUnmarshalIntoMapAndInterface(t *testing.T) {
+	var m map[string]int64
+	if err := Unmarshal([]byte("d1:ai1e1:bi2ee"), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != 1 || m["b"] != 2 {
+		t.Fatalf("map unmarshal = %v", m)
+	}
+	var any interface{}
+	if err := Unmarshal([]byte("l1:xi5ee"), &any); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(any, List{"x", int64(5)}) {
+		t.Fatalf("interface unmarshal = %#v", any)
+	}
+}
+
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	var n int
+	if err := Unmarshal([]byte("4:spam"), &n); err == nil {
+		t.Fatal("string into int accepted")
+	}
+	var s string
+	if err := Unmarshal([]byte("i42e"), &s); err == nil {
+		t.Fatal("int into string accepted")
+	}
+	var u uint8
+	if err := Unmarshal([]byte("i300e"), &u); err == nil {
+		t.Fatal("overflowing int accepted")
+	}
+	if err := Unmarshal([]byte("i-1e"), &u); err == nil {
+		t.Fatal("negative into uint accepted")
+	}
+}
+
+func TestUnmarshalRequiresPointer(t *testing.T) {
+	var n int
+	if err := Unmarshal([]byte("i1e"), n); err == nil {
+		t.Fatal("non-pointer target accepted")
+	}
+	if err := Unmarshal([]byte("i1e"), nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestEncodeRejectsUnsupported(t *testing.T) {
+	if _, err := Encode(3.14); err == nil {
+		t.Fatal("float accepted")
+	}
+	if _, err := Encode(map[int]string{1: "x"}); err == nil {
+		t.Fatal("int-keyed map accepted")
+	}
+	if _, err := Encode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestPointerFieldsRoundTrip(t *testing.T) {
+	type s struct {
+		P *int64 `bencode:"p"`
+	}
+	v := int64(5)
+	data, err := Marshal(s{P: &v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out s
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.P == nil || *out.P != 5 {
+		t.Fatalf("pointer round trip = %#v", out.P)
+	}
+	// Nil pointer fields are skipped.
+	data, err = Marshal(s{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "de" {
+		t.Fatalf("nil pointer encoding = %q, want de", data)
+	}
+}
+
+// Property: Encode(Decode(x)) is identity on canonical dynamic values.
+func TestRoundTripPropertyDynamic(t *testing.T) {
+	f := func(s string, n int64, tail []byte) bool {
+		v := Dict{
+			"str":  s,
+			"num":  n,
+			"list": List{s, n, string(tail)},
+			"nested": Dict{
+				"k": string(tail),
+			},
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(v, dec)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary input and consumed <= len.
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %q: %v", data, r)
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strings of any content round-trip.
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		enc, err := Encode(s)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(enc)
+		return err == nil && dec == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesConsumed(t *testing.T) {
+	d := NewDecoder(strings.NewReader("4:spamXYZ"))
+	if _, err := d.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if d.BytesConsumed() != 6 {
+		t.Fatalf("BytesConsumed = %d, want 6", d.BytesConsumed())
+	}
+}
+
+func TestHugeDeclaredStringRejected(t *testing.T) {
+	if _, err := Decode([]byte("999999999999:x")); err == nil {
+		t.Fatal("absurd string length accepted")
+	}
+}

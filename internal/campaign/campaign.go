@@ -1,0 +1,183 @@
+// Package campaign wires population → ecosystem → crawler into one
+// reproducible measurement run. It is the entry point used by the
+// experiment harness, the benchmarks and the examples to regenerate the
+// paper's datasets end to end.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"btpub/internal/crawler"
+	"btpub/internal/dataset"
+	"btpub/internal/ecosystem"
+	"btpub/internal/geoip"
+	"btpub/internal/population"
+	"btpub/internal/simclock"
+	"btpub/internal/tracker"
+)
+
+// Style selects which of the paper's datasets the run mimics.
+type Style int
+
+const (
+	// PB10 is the full methodology: usernames from RSS, continuous
+	// tracker polling, wire-level seeder identification.
+	PB10 Style = iota
+	// PB09 queries the tracker only once per torrent (Section 2.1).
+	PB09
+	// MN08 records no usernames; publishers are identified by IP only.
+	MN08
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	switch s {
+	case PB10:
+		return "pb10"
+	case PB09:
+		return "pb09"
+	case MN08:
+		return "mn08"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Spec configures a campaign run.
+type Spec struct {
+	// Scale shrinks the pb10-shaped world (1.0 = full size).
+	Scale float64
+	// Seed controls world generation and ecosystem randomness.
+	Seed uint64
+	// MeanDownloads overrides the population default (0 keeps it).
+	MeanDownloads float64
+	// Style selects the dataset flavour.
+	Style Style
+	// DrainDays keeps crawling after the last publication so late swarms
+	// are drained (default 5).
+	DrainDays int
+	// Vantages overrides the crawler's vantage count (0 = default 3).
+	Vantages int
+	// DatasetName overrides the Style name.
+	DatasetName string
+}
+
+// Result bundles the run artefacts with full ground-truth access.
+type Result struct {
+	Spec    Spec
+	Dataset *dataset.Dataset
+	World   *population.World
+	Eco     *ecosystem.Ecosystem
+	Crawler *crawler.Crawler
+	DB      *geoip.DB
+	// Elapsed is the wall-clock cost of the virtual campaign.
+	Elapsed time.Duration
+}
+
+// Run executes the campaign: generate the world, stand up the ecosystem,
+// crawl it for the whole campaign window plus drain, run the final sweep,
+// and return the dataset.
+func Run(spec Spec) (*Result, error) {
+	if spec.Scale <= 0 {
+		return nil, errors.New("campaign: Scale must be positive")
+	}
+	if spec.DrainDays == 0 {
+		spec.DrainDays = 5
+	}
+	start := time.Now()
+
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		return nil, err
+	}
+	params := population.DefaultParams(spec.Scale)
+	if spec.Seed != 0 {
+		params.Seed = spec.Seed
+	}
+	if spec.MeanDownloads > 0 {
+		params.MeanDownloads = spec.MeanDownloads
+	}
+	world, err := population.Generate(params, db)
+	if err != nil {
+		return nil, err
+	}
+
+	clock := simclock.NewSim(world.Start)
+	eco, err := ecosystem.New(ecosystem.Config{
+		World:     world,
+		DB:        db,
+		Clock:     clock,
+		Seed:      params.Seed,
+		DrainDays: spec.DrainDays + 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	trk, err := tracker.New(eco, clock.Now)
+	if err != nil {
+		return nil, err
+	}
+
+	name := spec.DatasetName
+	if name == "" {
+		name = spec.Style.String()
+	}
+	end := world.Start.Add(time.Duration(params.CampaignDays+spec.DrainDays) * 24 * time.Hour)
+	cfg := crawler.Config{
+		DatasetName:     name,
+		RecordUsernames: spec.Style != MN08,
+		SingleShot:      spec.Style == PB09,
+		Vantages:        spec.Vantages,
+		End:             end,
+	}
+	var prober ecosystem.Prober
+	if spec.Style != PB09 {
+		prober = &ecosystem.InProcessProber{E: eco}
+	}
+	cr, err := crawler.New(cfg,
+		&crawler.SimDriver{Sim: clock},
+		&crawler.InProcessPortal{P: eco.Portal},
+		&crawler.InProcessTracker{T: trk, Vantages: crawler.DefaultVantages(maxInt(cfg.Vantages, 3))},
+		prober,
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.Start(); err != nil {
+		return nil, err
+	}
+
+	// Replay the whole campaign; crawler and ecosystem share the clock.
+	clock.AdvanceTo(end.Add(time.Hour))
+
+	// Post-campaign enrichment: page re-checks and user pages.
+	if err := cr.FinalSweep(context.Background(), func(rec *dataset.TorrentRecord) string {
+		return "http://portal.sim/page/" + rec.InfoHash
+	}); err != nil {
+		return nil, err
+	}
+
+	ds := cr.Dataset()
+	ds.Start = world.Start
+	ds.End = end
+	return &Result{
+		Spec:    spec,
+		Dataset: ds,
+		World:   world,
+		Eco:     eco,
+		Crawler: cr,
+		DB:      db,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

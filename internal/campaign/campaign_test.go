@@ -1,0 +1,278 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"btpub/internal/population"
+)
+
+// run executes one cached tiny campaign per style for all tests.
+var cached = map[Style]*Result{}
+
+func run(t *testing.T, style Style) *Result {
+	t.Helper()
+	if res, ok := cached[style]; ok {
+		return res
+	}
+	res, err := Run(Spec{Scale: 0.01, MeanDownloads: 120, Style: style, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached[style] = res
+	return res
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestCrawlerSeesEveryTorrent(t *testing.T) {
+	res := run(t, PB10)
+	if len(res.Dataset.Torrents) != len(res.World.Torrents) {
+		t.Fatalf("crawled %d torrents, world has %d",
+			len(res.Dataset.Torrents), len(res.World.Torrents))
+	}
+}
+
+func TestUsernamesRecordedAndCorrect(t *testing.T) {
+	res := run(t, PB10)
+	byHash := map[string]string{} // infohash hex -> ground-truth username
+	for _, entry := range res.Eco.Portal.Recent(1 << 20) {
+		if gt, ok := res.Eco.TorrentByHash(entry.InfoHash); ok {
+			byHash[entry.InfoHash.String()] = gt.Username
+		}
+	}
+	checked := 0
+	for _, rec := range res.Dataset.Torrents {
+		want, ok := byHash[rec.InfoHash]
+		if !ok {
+			continue // removed from the portal index (fake)
+		}
+		checked++
+		if rec.Username != want {
+			t.Fatalf("torrent %s: username %q, ground truth %q",
+				rec.InfoHash, rec.Username, want)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing verified")
+	}
+}
+
+func TestIdentifiedPublisherIPsAreGroundTruth(t *testing.T) {
+	res := run(t, PB10)
+	identified, wrong := 0, 0
+	for _, rec := range res.Dataset.Torrents {
+		if rec.PublisherIP == "" {
+			continue
+		}
+		identified++
+		pub, ok := res.Eco.PublisherOf(findWorldTorrent(t, res, rec.InfoHash))
+		if !ok {
+			t.Fatalf("no publisher for %s", rec.InfoHash)
+		}
+		match := false
+		for _, ip := range pub.IPs {
+			if ip.String() == rec.PublisherIP {
+				match = true
+			}
+		}
+		if !match {
+			wrong++
+		}
+	}
+	if identified == 0 {
+		t.Fatal("no publisher IPs identified")
+	}
+	frac := float64(identified) / float64(len(res.Dataset.Torrents))
+	// The paper identifies the IP for ~40% of torrents; our ecosystem has
+	// one fewer loss mechanism (no cross-portal republication), so accept
+	// a band around it.
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("identified fraction = %.2f, want ~0.4-0.6", frac)
+	}
+	// Identification is conservative: a unique complete reachable peer in
+	// a newborn single-seeder swarm is overwhelmingly the publisher, but a
+	// racing early completer can occasionally win; tolerate a tiny error.
+	if float64(wrong) > 0.05*float64(identified)+1 {
+		t.Errorf("%d/%d identified IPs wrong", wrong, identified)
+	}
+}
+
+func findWorldTorrent(t *testing.T, res *Result, infoHash string) int {
+	t.Helper()
+	for _, entry := range res.Eco.Portal.Recent(1 << 20) {
+		if entry.InfoHash.String() == infoHash {
+			if gt, ok := res.Eco.TorrentByHash(entry.InfoHash); ok {
+				return gt.ID
+			}
+		}
+	}
+	// Fall back: search ground truth by hash via ecosystem (covers removed
+	// entries too).
+	for id := range res.World.Torrents {
+		ivs, _ := res.Eco.GroundTruthPresence(id)
+		_ = ivs
+	}
+	// Removed fakes are not in Recent; resolve via TorrentByHash.
+	var ih [20]byte
+	for i := 0; i < 20; i++ {
+		var v byte
+		for j := 0; j < 2; j++ {
+			c := infoHash[2*i+j]
+			switch {
+			case c >= '0' && c <= '9':
+				v = v<<4 | (c - '0')
+			case c >= 'a' && c <= 'f':
+				v = v<<4 | (c - 'a' + 10)
+			}
+		}
+		ih[i] = v
+	}
+	if gt, ok := res.Eco.TorrentByHash(ih); ok {
+		return gt.ID
+	}
+	t.Fatalf("torrent %s not found in ground truth", infoHash)
+	return -1
+}
+
+func TestRemovedTorrentsAreFlagged(t *testing.T) {
+	res := run(t, PB10)
+	removed, fakes := 0, 0
+	for _, rec := range res.Dataset.Torrents {
+		id := findWorldTorrent(t, res, rec.InfoHash)
+		gt := res.World.Torrents[id]
+		if gt.Fake {
+			fakes++
+			if rec.Removed {
+				removed++
+			}
+		} else if rec.Removed {
+			t.Fatalf("genuine torrent %s flagged removed", rec.Title)
+		}
+	}
+	if fakes == 0 {
+		t.Fatal("no fakes in the crawl")
+	}
+	frac := float64(removed) / float64(fakes)
+	if frac < 0.95 {
+		t.Fatalf("only %.0f%% of fakes flagged removed", frac*100)
+	}
+}
+
+func TestUserSweepSeparatesSuspendedAccounts(t *testing.T) {
+	res := run(t, PB10)
+	users := res.Dataset.UserByName()
+	if len(users) == 0 {
+		t.Fatal("no user records")
+	}
+	classByUser := map[string]population.Class{}
+	for _, tor := range res.World.Torrents {
+		classByUser[tor.Username] = res.World.Publishers[tor.PublisherID].Class
+	}
+	for name, u := range users {
+		class, ok := classByUser[name]
+		if !ok {
+			t.Fatalf("surveyed unknown username %q", name)
+		}
+		if class.IsFake() && u.Exists {
+			t.Errorf("fake username %q still has a live account page", name)
+		}
+		if !class.IsFake() && !u.Exists {
+			t.Errorf("genuine username %q lost its account page", name)
+		}
+	}
+}
+
+func TestObservationVolumeReasonable(t *testing.T) {
+	res := run(t, PB10)
+	ds := res.Dataset
+	if len(ds.Observations) == 0 {
+		t.Fatal("no observations")
+	}
+	perTorrent := float64(len(ds.Observations)) / float64(len(ds.Torrents))
+	if perTorrent < 5 {
+		t.Fatalf("%.1f observations per torrent — sampling broken?", perTorrent)
+	}
+	if ds.DistinctIPs() < 1000 {
+		t.Fatalf("only %d distinct IPs", ds.DistinctIPs())
+	}
+}
+
+func TestPB09SingleShot(t *testing.T) {
+	res := run(t, PB09)
+	st := res.Crawler.Stats()
+	// One query per torrent (plus nothing else).
+	if st.TrackerQueries != st.TorrentsSeen {
+		t.Fatalf("queries = %d, torrents = %d; single-shot should match",
+			st.TrackerQueries, st.TorrentsSeen)
+	}
+	if st.WireProbes != 0 {
+		t.Fatalf("pb09 ran %d wire probes, want 0", st.WireProbes)
+	}
+}
+
+func TestMN08OmitsUsernames(t *testing.T) {
+	res := run(t, MN08)
+	for _, rec := range res.Dataset.Torrents {
+		if rec.Username != "" {
+			t.Fatalf("mn08 record carries username %q", rec.Username)
+		}
+	}
+	if res.Dataset.TorrentsWithIP() == 0 {
+		t.Fatal("mn08 identified no publisher IPs (it is IP-only)")
+	}
+	if len(res.Dataset.Users) != 0 {
+		t.Fatal("mn08 swept user pages despite having no usernames")
+	}
+}
+
+func TestDatasetWindowStamps(t *testing.T) {
+	res := run(t, PB10)
+	ds := res.Dataset
+	if !ds.Start.Equal(res.World.Start) {
+		t.Fatalf("start = %v, want %v", ds.Start, res.World.Start)
+	}
+	wantEnd := res.World.Start.Add(time.Duration(res.World.Params.CampaignDays+res.Spec.DrainDays) * 24 * time.Hour)
+	if !ds.End.Equal(wantEnd) {
+		t.Fatalf("end = %v, want %v", ds.End, wantEnd)
+	}
+}
+
+func TestCrawlObservedDownloadSharesRoughlyMatchGroundTruth(t *testing.T) {
+	res := run(t, PB10)
+	// Group observed distinct IPs per torrent by ground-truth class and
+	// compare against the generative targets (loose: tiny scale).
+	classOf := map[int]population.Class{}
+	for _, rec := range res.Dataset.Torrents {
+		id := findWorldTorrent(t, res, rec.InfoHash)
+		classOf[rec.TorrentID] = res.World.Publishers[res.World.Torrents[id].PublisherID].Class
+	}
+	distinct := map[int]map[string]bool{}
+	for _, o := range res.Dataset.Observations {
+		if distinct[o.TorrentID] == nil {
+			distinct[o.TorrentID] = map[string]bool{}
+		}
+		distinct[o.TorrentID][o.IP] = true
+	}
+	byClass := map[population.Class]float64{}
+	total := 0.0
+	for tid, ips := range distinct {
+		byClass[classOf[tid]] += float64(len(ips))
+		total += float64(len(ips))
+	}
+	fake := (byClass[population.FakeAntipiracy] + byClass[population.FakeMalware]) / total
+	top := (byClass[population.TopPortal] + byClass[population.TopWeb] + byClass[population.TopAltruistic]) / total
+	t.Logf("observed download shares: fake=%.3f top=%.3f regular=%.3f",
+		fake, top, byClass[population.Regular]/total)
+	if math.Abs(fake-0.25) > 0.15 {
+		t.Errorf("fake observed share %.3f too far from 0.25", fake)
+	}
+	if math.Abs(top-0.50) > 0.18 {
+		t.Errorf("top observed share %.3f too far from 0.50", top)
+	}
+}

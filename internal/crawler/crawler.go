@@ -1,0 +1,500 @@
+// Package crawler implements the paper's measurement instrument
+// (Section 2):
+//
+//  1. poll the portal's RSS feed to detect each new torrent within minutes
+//     of its birth and record the publisher's username;
+//  2. immediately download the .torrent and announce to its tracker; when
+//     the newborn swarm has exactly one seeder and fewer than 20 peers,
+//     probe the returned peers over the wire protocol and record the
+//     single complete peer's address as the initial publisher's IP
+//     (peers behind NAT are unreachable, so — like the paper — the IP is
+//     identified for only a fraction of torrents);
+//  3. keep querying the tracker for every monitored torrent at the maximum
+//     rate the tracker allows (one query per 10–15 minutes per vantage),
+//     from several vantage points, recording every returned IP address;
+//  4. stop monitoring a torrent after 10 consecutive empty replies.
+//
+// The engine is event-driven over an abstract Driver, so the same code
+// runs deterministically on the simulation clock and in real time against
+// live HTTP endpoints.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"btpub/internal/dataset"
+	"btpub/internal/ecosystem"
+	"btpub/internal/metainfo"
+	"btpub/internal/portal"
+	"btpub/internal/tracker"
+)
+
+// Driver schedules crawler work on some notion of time.
+type Driver interface {
+	Now() time.Time
+	Schedule(at time.Time, fn func(now time.Time))
+}
+
+// PortalClient is the crawler's view of a BitTorrent portal.
+type PortalClient interface {
+	// FetchRSS returns the current feed items.
+	FetchRSS(ctx context.Context) ([]portal.FeedItem, error)
+	// FetchTorrent downloads a .torrent by its feed URL.
+	FetchTorrent(ctx context.Context, url string) ([]byte, error)
+	// FetchPage scrapes a torrent detail page by its feed URL. Removed
+	// torrents return portal.ErrNotFound.
+	FetchPage(ctx context.Context, url string) (*portal.PageData, error)
+	// FetchUserPage scrapes an account page; suspended/unknown accounts
+	// return portal.ErrNotFound.
+	FetchUserPage(ctx context.Context, username string) (*portal.UserPageData, error)
+}
+
+// TrackerClient announces to a tracker from a numbered vantage point.
+type TrackerClient interface {
+	Announce(ctx context.Context, announceURL string, ih metainfo.Hash, vantage int, numWant int) (*tracker.AnnounceResponse, error)
+}
+
+// Config tunes the instrument. The defaults reproduce the pb10 campaign;
+// SingleShot reproduces pb09 (one tracker query per torrent) and
+// RecordUsernames=false reproduces mn08 (no username information).
+type Config struct {
+	DatasetName string
+
+	// RSSPoll is the feed polling period (default 10 min).
+	RSSPoll time.Duration
+	// QueryInterval is the per-vantage tracker query period (default
+	// 15 min; the tracker enforces at least 10).
+	QueryInterval time.Duration
+	// Vantages is the number of crawling machines (default 3). They query
+	// with staggered phases, multiplying the effective sampling rate the
+	// way the paper's geographically distributed machines did.
+	Vantages int
+	// EmptyToStop is the consecutive-empty-replies stop rule (default 10).
+	EmptyToStop int
+	// NumWant is the peer count requested per query (default 200, the
+	// tracker maximum).
+	NumWant int
+	// IdentifyMaxPeers bounds swarm size for initial-seeder identification
+	// (default 20, per Section 2).
+	IdentifyMaxPeers int
+	// SingleShot stops after the first tracker query per torrent (pb09).
+	SingleShot bool
+	// RecordUsernames toggles username capture (false for mn08).
+	RecordUsernames bool
+	// End stops all crawling activity at this instant (campaign end).
+	End time.Time
+	// DedupWindow drops repeat sightings of the same IP in the same
+	// torrent within the window (default 45 min). Session stitching uses a
+	// 4 h gap, so sub-window repeats carry no analysis signal; thinning
+	// keeps dataset size proportional to distinct peer-sessions, not to
+	// query volume.
+	DedupWindow time.Duration
+}
+
+func (c *Config) setDefaults() {
+	if c.DatasetName == "" {
+		c.DatasetName = "crawl"
+	}
+	if c.RSSPoll <= 0 {
+		c.RSSPoll = 10 * time.Minute
+	}
+	if c.QueryInterval <= 0 {
+		c.QueryInterval = 15 * time.Minute
+	}
+	if c.Vantages <= 0 {
+		c.Vantages = 3
+	}
+	if c.EmptyToStop <= 0 {
+		c.EmptyToStop = 10
+	}
+	if c.NumWant <= 0 {
+		c.NumWant = 200
+	}
+	if c.IdentifyMaxPeers <= 0 {
+		c.IdentifyMaxPeers = 20
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 45 * time.Minute
+	}
+}
+
+// Counters summarise crawler activity.
+type Counters struct {
+	RSSPolls          int
+	TorrentsSeen      int
+	TrackerQueries    int
+	RateLimited       int
+	WireProbes        int
+	PublishersByIP    int
+	MonitoringStopped int
+}
+
+// Crawler is the measurement engine.
+type Crawler struct {
+	cfg     Config
+	driver  Driver
+	portal  PortalClient
+	tracker TrackerClient
+	prober  ecosystem.Prober // may be nil: skip wire identification
+
+	mu       sync.Mutex
+	ds       *dataset.Dataset
+	known    map[string]bool // feed GUID -> seen
+	counters Counters
+	started  bool
+}
+
+// New builds a crawler. prober may be nil, in which case publisher IPs are
+// never identified (username-only datasets).
+func New(cfg Config, driver Driver, pc PortalClient, tc TrackerClient, prober ecosystem.Prober) (*Crawler, error) {
+	if driver == nil || pc == nil || tc == nil {
+		return nil, errors.New("crawler: driver, portal and tracker clients are required")
+	}
+	cfg.setDefaults()
+	return &Crawler{
+		cfg:     cfg,
+		driver:  driver,
+		portal:  pc,
+		tracker: tc,
+		prober:  prober,
+		ds:      &dataset.Dataset{Name: cfg.DatasetName},
+		known:   map[string]bool{},
+	}, nil
+}
+
+// Start begins polling at the driver's current time. Must be called once.
+func (c *Crawler) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("crawler: already started")
+	}
+	c.started = true
+	c.ds.Start = c.driver.Now()
+	c.driver.Schedule(c.driver.Now(), c.pollRSS)
+	return nil
+}
+
+// Dataset snapshots the crawl result so far. The End stamp is set to the
+// current driver time.
+func (c *Crawler) Dataset() *dataset.Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ds.End = c.driver.Now()
+	return c.ds
+}
+
+// Stats returns activity counters.
+func (c *Crawler) Stats() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
+}
+
+func (c *Crawler) ended(now time.Time) bool {
+	return !c.cfg.End.IsZero() && now.After(c.cfg.End)
+}
+
+// pollRSS fires on every feed poll tick.
+func (c *Crawler) pollRSS(now time.Time) {
+	if c.ended(now) {
+		return
+	}
+	ctx := context.Background()
+	items, err := c.portal.FetchRSS(ctx)
+	c.mu.Lock()
+	c.counters.RSSPolls++
+	c.mu.Unlock()
+	if err == nil {
+		for i := range items {
+			item := items[i]
+			c.mu.Lock()
+			seen := c.known[item.GUID]
+			if !seen {
+				c.known[item.GUID] = true
+			}
+			c.mu.Unlock()
+			if !seen {
+				c.handleNewTorrent(now, &item)
+			}
+		}
+	}
+	c.driver.Schedule(now.Add(c.cfg.RSSPoll), c.pollRSS)
+}
+
+// handleNewTorrent processes a freshly announced feed item.
+func (c *Crawler) handleNewTorrent(now time.Time, item *portal.FeedItem) {
+	ctx := context.Background()
+	raw, err := c.portal.FetchTorrent(ctx, item.TorrentURL)
+	if err != nil {
+		return // removed between feed generation and fetch
+	}
+	mi, err := metainfo.Parse(raw)
+	if err != nil {
+		return
+	}
+	ih, err := mi.InfoHash()
+	if err != nil {
+		return
+	}
+
+	rec := &dataset.TorrentRecord{
+		InfoHash:  ih.String(),
+		Title:     item.Title,
+		Category:  item.Category,
+		SizeBytes: item.SizeBytes,
+		FileName:  mi.Info.Name,
+		Published: item.Published,
+	}
+	if c.cfg.RecordUsernames {
+		rec.Username = item.Username
+	}
+	// Scrape the detail page for the description textbox and file list
+	// (promo-URL channels ii and iii).
+	if page, err := c.portal.FetchPage(ctx, item.PageURL); err == nil {
+		rec.Description = page.Description
+		if len(page.Files) > 1 {
+			rec.BundledFiles = page.Files[1:]
+		}
+	}
+
+	c.mu.Lock()
+	rec.TorrentID = len(c.ds.Torrents)
+	c.ds.AddTorrent(rec)
+	c.counters.TorrentsSeen++
+	c.mu.Unlock()
+
+	st := &torrentState{
+		rec:       rec,
+		announce:  mi.Announce,
+		ih:        ih,
+		numPieces: mi.Info.NumPieces(),
+		lastSeen:  map[string]time.Time{},
+	}
+	// First contact immediately, from vantage 0.
+	c.queryTracker(now, st, 0, true)
+	if c.cfg.SingleShot {
+		return
+	}
+	// Staggered periodic queries from every vantage.
+	for v := 1; v < c.cfg.Vantages; v++ {
+		v := v
+		offset := time.Duration(v) * c.cfg.QueryInterval / time.Duration(c.cfg.Vantages)
+		c.driver.Schedule(now.Add(offset), func(t time.Time) {
+			c.queryTracker(t, st, v, false)
+		})
+	}
+	c.driver.Schedule(now.Add(c.cfg.QueryInterval), func(t time.Time) {
+		c.queryTracker(t, st, 0, false)
+	})
+}
+
+// torrentState is the per-torrent monitoring state.
+type torrentState struct {
+	rec       *dataset.TorrentRecord
+	announce  string
+	ih        metainfo.Hash
+	numPieces int
+
+	mu        sync.Mutex
+	empty     int
+	stopped   bool
+	firstDone bool
+	lastSeen  map[string]time.Time
+}
+
+// queryTracker performs one announce for one torrent from one vantage and
+// schedules the vantage's next slot.
+func (c *Crawler) queryTracker(now time.Time, st *torrentState, vantage int, first bool) {
+	if c.ended(now) {
+		return
+	}
+	st.mu.Lock()
+	if st.stopped {
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Unlock()
+
+	ctx := context.Background()
+	resp, err := c.tracker.Announce(ctx, st.announce, st.ih, vantage, c.cfg.NumWant)
+
+	c.mu.Lock()
+	c.counters.TrackerQueries++
+	c.mu.Unlock()
+
+	reschedule := func() {
+		if !c.cfg.SingleShot {
+			c.driver.Schedule(now.Add(c.cfg.QueryInterval), func(t time.Time) {
+				c.queryTracker(t, st, vantage, false)
+			})
+		}
+	}
+
+	if err != nil {
+		var fe *tracker.ErrFailure
+		if errors.As(err, &fe) && fe.IsRateLimited() || errors.Is(err, tracker.ErrTooSoon) {
+			c.mu.Lock()
+			c.counters.RateLimited++
+			c.mu.Unlock()
+			reschedule()
+			return
+		}
+		// Unknown swarm or transport failure: count toward the stop rule.
+		c.noteEmpty(st)
+		reschedule()
+		return
+	}
+
+	// Record the first-contact swarm snapshot and attempt initial-seeder
+	// identification (Section 2's single-seeder small-swarm rule).
+	if first {
+		st.mu.Lock()
+		alreadyDone := st.firstDone
+		st.firstDone = true
+		st.mu.Unlock()
+		if !alreadyDone {
+			c.mu.Lock()
+			st.rec.FirstSeenSeeders = resp.Seeders
+			st.rec.FirstSeenPeers = resp.Seeders + resp.Leechers
+			c.mu.Unlock()
+			if resp.Seeders == 1 && resp.Seeders+resp.Leechers < c.cfg.IdentifyMaxPeers {
+				c.identifySeeder(st, resp.Peers)
+			}
+		}
+	}
+
+	if len(resp.Peers) == 0 {
+		c.noteEmpty(st)
+		reschedule()
+		return
+	}
+	st.mu.Lock()
+	st.empty = 0
+	fresh := resp.Peers[:0]
+	for _, p := range resp.Peers {
+		key := p.IP.String()
+		if last, ok := st.lastSeen[key]; ok && now.Sub(last) < c.cfg.DedupWindow {
+			continue
+		}
+		st.lastSeen[key] = now
+		fresh = append(fresh, p)
+	}
+	st.mu.Unlock()
+	c.mu.Lock()
+	for _, p := range fresh {
+		c.ds.AddObservation(dataset.Observation{
+			TorrentID: st.rec.TorrentID,
+			IP:        p.IP.String(),
+			At:        now,
+		})
+	}
+	c.mu.Unlock()
+	reschedule()
+}
+
+// noteEmpty advances the 10-consecutive-empty-replies stop rule.
+func (c *Crawler) noteEmpty(st *torrentState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.empty++
+	if st.empty >= c.cfg.EmptyToStop*c.cfg.Vantages && !st.stopped {
+		// Each vantage contributes replies; stop after the equivalent of
+		// EmptyToStop empty rounds across the aggregate.
+		st.stopped = true
+		c.mu.Lock()
+		c.counters.MonitoringStopped++
+		c.mu.Unlock()
+	}
+}
+
+// identifySeeder probes the returned peers over the wire protocol and
+// records the address of the unique seeder, when reachable.
+func (c *Crawler) identifySeeder(st *torrentState, peers []tracker.PeerAddr) {
+	if c.prober == nil {
+		return
+	}
+	ctx := context.Background()
+	var seederIP netip.Addr
+	found := 0
+	for _, p := range peers {
+		res, err := c.prober.Probe(ctx, p.IP, st.ih, st.numPieces)
+		c.mu.Lock()
+		c.counters.WireProbes++
+		c.mu.Unlock()
+		if err != nil {
+			continue // NATed or gone
+		}
+		if res.Seeder {
+			seederIP = p.IP
+			found++
+		}
+	}
+	// Only a unique, reachable complete peer counts as the identified
+	// initial publisher.
+	if found == 1 {
+		c.mu.Lock()
+		st.rec.PublisherIP = seederIP.String()
+		c.ds.AddObservation(dataset.Observation{
+			TorrentID: st.rec.TorrentID,
+			IP:        seederIP.String(),
+			At:        c.driver.Now(),
+			Seeder:    true,
+		})
+		c.counters.PublishersByIP++
+		c.mu.Unlock()
+	}
+}
+
+// FinalSweep enriches the dataset after the campaign: re-checks every
+// recorded torrent's page (removed pages mark the record Removed — the
+// fake-content signal) and, when usernames were recorded, scrapes every
+// username's account page for the longitudinal analysis (Table 4).
+// Suspended accounts yield a UserRecord with Exists=false.
+func (c *Crawler) FinalSweep(ctx context.Context, pageURL func(rec *dataset.TorrentRecord) string) error {
+	c.mu.Lock()
+	torrents := append([]*dataset.TorrentRecord(nil), c.ds.Torrents...)
+	c.mu.Unlock()
+
+	usernames := map[string]bool{}
+	for _, rec := range torrents {
+		if _, err := c.portal.FetchPage(ctx, pageURL(rec)); err != nil {
+			if errors.Is(err, portal.ErrNotFound) {
+				c.mu.Lock()
+				rec.Removed = true
+				c.mu.Unlock()
+				continue
+			}
+			return fmt.Errorf("crawler: final sweep page: %w", err)
+		}
+	}
+	for _, rec := range torrents {
+		if rec.Username != "" {
+			usernames[rec.Username] = true
+		}
+	}
+	for u := range usernames {
+		up, err := c.portal.FetchUserPage(ctx, u)
+		rec := dataset.UserRecord{Username: u}
+		switch {
+		case errors.Is(err, portal.ErrNotFound):
+			rec.Exists = false
+		case err != nil:
+			return fmt.Errorf("crawler: final sweep user %q: %w", u, err)
+		default:
+			rec.Exists = true
+			rec.MemberSince = up.MemberSince
+			rec.FirstUpload = up.FirstUpload
+			rec.TotalUploads = up.UploadCount
+		}
+		c.mu.Lock()
+		c.ds.Users = append(c.ds.Users, rec)
+		c.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package crawler
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"btpub/internal/metainfo"
+	"btpub/internal/portal"
+	"btpub/internal/simclock"
+	"btpub/internal/swarm"
+	"btpub/internal/tracker"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.setDefaults()
+	if c.RSSPoll != 10*time.Minute || c.QueryInterval != 15*time.Minute {
+		t.Fatalf("poll/query defaults = %v/%v", c.RSSPoll, c.QueryInterval)
+	}
+	if c.Vantages != 3 || c.EmptyToStop != 10 || c.NumWant != 200 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.IdentifyMaxPeers != 20 {
+		t.Fatalf("IdentifyMaxPeers = %d, want the paper's 20", c.IdentifyMaxPeers)
+	}
+	if c.DedupWindow <= 0 || c.DedupWindow >= 4*time.Hour {
+		t.Fatalf("DedupWindow = %v must stay far below the 4h session gap", c.DedupWindow)
+	}
+}
+
+func TestHashFromURL(t *testing.T) {
+	var ih metainfo.Hash
+	for i := range ih {
+		ih[i] = byte(i)
+	}
+	hex := ih.String()
+	for _, url := range []string{
+		"http://portal.sim/torrent/" + hex + ".torrent",
+		"http://portal.sim/page/" + hex,
+		hex,
+	} {
+		got, err := hashFromURL(url)
+		if err != nil {
+			t.Fatalf("hashFromURL(%q): %v", url, err)
+		}
+		if got != ih {
+			t.Fatalf("hashFromURL(%q) = %s", url, got)
+		}
+	}
+	for _, url := range []string{"", "http://x/torrent/zz.torrent", "http://x/page/1234"} {
+		if _, err := hashFromURL(url); err == nil {
+			t.Fatalf("hashFromURL(%q) succeeded", url)
+		}
+	}
+}
+
+func TestDefaultVantagesDistinct(t *testing.T) {
+	vs := DefaultVantages(5)
+	seen := map[netip.Addr]bool{}
+	for _, v := range vs {
+		if seen[v] {
+			t.Fatalf("duplicate vantage %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSimDriverSchedules(t *testing.T) {
+	sim := simclock.NewSim(simclock.Epoch)
+	d := &SimDriver{Sim: sim}
+	fired := false
+	d.Schedule(d.Now().Add(time.Hour), func(time.Time) { fired = true })
+	sim.Advance(2 * time.Hour)
+	if !fired {
+		t.Fatal("SimDriver did not fire")
+	}
+}
+
+func TestCrawlerRequiresClients(t *testing.T) {
+	if _, err := New(Config{}, nil, nil, nil, nil); err == nil {
+		t.Fatal("nil dependencies accepted")
+	}
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	sim := simclock.NewSim(simclock.Epoch)
+	p, err := portal.New("t", sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trk, err := tracker.New(stubStore{}, sim.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := New(Config{},
+		&SimDriver{Sim: sim},
+		&InProcessPortal{P: p},
+		&InProcessTracker{T: trk, Vantages: DefaultVantages(2)},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cr.Start(); err == nil {
+		t.Fatal("second Start accepted")
+	}
+}
+
+type stubStore struct{}
+
+func (stubStore) Snapshot(metainfo.Hash, time.Time, int) ([]swarm.Member, int, int, error) {
+	return nil, 0, 0, tracker.ErrUnknownSwarm
+}
+
+func TestInProcessTrackerNeedsVantages(t *testing.T) {
+	trk, err := tracker.New(stubStore{}, time.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &InProcessTracker{T: trk}
+	if _, err := c.Announce(context.Background(), "", metainfo.Hash{}, 0, 10); err == nil ||
+		!strings.Contains(err.Error(), "vantage") {
+		t.Fatalf("err = %v", err)
+	}
+}

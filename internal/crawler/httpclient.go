@@ -1,0 +1,101 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+
+	"btpub/internal/metainfo"
+	"btpub/internal/portal"
+	"btpub/internal/tracker"
+)
+
+// HTTPPortal is the network-mode PortalClient: it talks to a live portal
+// over HTTP and scrapes its pages, exactly like the paper's crawler.
+type HTTPPortal struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+func (c *HTTPPortal) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *HTTPPortal) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, portal.ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("crawler: GET %s -> %d", url, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
+// FetchRSS implements PortalClient.
+func (c *HTTPPortal) FetchRSS(ctx context.Context) ([]portal.FeedItem, error) {
+	body, err := c.get(ctx, c.BaseURL+"/rss")
+	if err != nil {
+		return nil, err
+	}
+	return portal.ParseRSS(body)
+}
+
+// FetchTorrent implements PortalClient.
+func (c *HTTPPortal) FetchTorrent(ctx context.Context, url string) ([]byte, error) {
+	return c.get(ctx, url)
+}
+
+// FetchPage implements PortalClient.
+func (c *HTTPPortal) FetchPage(ctx context.Context, url string) (*portal.PageData, error) {
+	body, err := c.get(ctx, url)
+	if err != nil {
+		return nil, err
+	}
+	return portal.ParsePage(body)
+}
+
+// FetchUserPage implements PortalClient.
+func (c *HTTPPortal) FetchUserPage(ctx context.Context, username string) (*portal.UserPageData, error) {
+	body, err := c.get(ctx, c.BaseURL+"/user/"+username)
+	if err != nil {
+		return nil, err
+	}
+	return portal.ParseUserPage(body)
+}
+
+var _ PortalClient = (*HTTPPortal)(nil)
+
+// HTTPTracker is the network-mode TrackerClient; each vantage announces
+// with its own identity so the tracker's rate limiter treats them as the
+// paper's geographically distributed machines.
+type HTTPTracker struct {
+	Vantages []netip.Addr
+	HTTP     *http.Client
+}
+
+// Announce implements TrackerClient.
+func (c *HTTPTracker) Announce(ctx context.Context, announceURL string, ih metainfo.Hash, vantage, numWant int) (*tracker.AnnounceResponse, error) {
+	cl := &tracker.Client{HTTP: c.HTTP}
+	if len(c.Vantages) > 0 {
+		cl.Vantage = c.Vantages[vantage%len(c.Vantages)]
+	}
+	var pid [20]byte
+	copy(pid[:], fmt.Sprintf("-BTPUB0-vantage%05d", vantage))
+	return cl.Announce(ctx, announceURL, ih, pid, numWant)
+}
+
+var _ TrackerClient = (*HTTPTracker)(nil)

@@ -1,0 +1,305 @@
+// Package dataset defines the record types the crawler produces and the
+// analysis consumes, mirroring the structure of the paper's mn08/pb09/pb10
+// datasets: per-torrent metadata with the identified initial publisher,
+// plus the time-stamped peer observations gathered from periodic tracker
+// queries.
+//
+// Records persist as JSON Lines, one file per dataset, so large crawls
+// stream instead of loading a 300 GB blob the way the original study had
+// to.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"time"
+)
+
+// TorrentRecord is everything the crawler learned about one torrent.
+type TorrentRecord struct {
+	// TorrentID is the crawler-assigned sequence number.
+	TorrentID int `json:"torrent_id"`
+	// InfoHash in hex.
+	InfoHash string `json:"info_hash"`
+	Title    string `json:"title"`
+	Category string `json:"category"`
+	// SizeBytes as reported by the portal.
+	SizeBytes int64 `json:"size_bytes"`
+	// FileName inside the .torrent (promo channel i).
+	FileName string `json:"file_name"`
+	// Description is the portal page textbox (promo channel ii).
+	Description string `json:"description,omitempty"`
+	// BundledFiles lists extra files in the bundle (promo channel iii).
+	BundledFiles []string `json:"bundled_files,omitempty"`
+
+	// Username of the publisher on the portal ("" for mn08-style datasets
+	// without username information).
+	Username string `json:"username,omitempty"`
+	// PublisherIP is the initial seeder address when identified ("" when
+	// NATed, ambiguous or never seen — the paper manages ~40%).
+	PublisherIP string `json:"publisher_ip,omitempty"`
+	// Published is the RSS announcement time.
+	Published time.Time `json:"published"`
+	// FirstSeenSeeders/FirstSeenPeers snapshot the swarm at first contact;
+	// identification is only attempted when FirstSeenSeeders == 1 and
+	// FirstSeenPeers < 20 (Section 2).
+	FirstSeenSeeders int `json:"first_seen_seeders"`
+	FirstSeenPeers   int `json:"first_seen_peers"`
+
+	// Removed reports that the portal took the torrent down mid-campaign
+	// (observed when a later page/torrent fetch 404s).
+	Removed bool `json:"removed,omitempty"`
+}
+
+// Observation is one sighting of one IP in one torrent's tracker reply.
+type Observation struct {
+	TorrentID int       `json:"t"`
+	IP        string    `json:"ip"`
+	At        time.Time `json:"at"`
+	Seeder    bool      `json:"s,omitempty"`
+}
+
+// UserRecord is the scraped state of one portal account at campaign end
+// (the longitudinal data of Table 4). Exists=false means the portal
+// deleted the account — the paper's fake-publisher signal.
+type UserRecord struct {
+	Username     string    `json:"username"`
+	Exists       bool      `json:"exists"`
+	MemberSince  time.Time `json:"member_since,omitempty"`
+	FirstUpload  time.Time `json:"first_upload,omitempty"`
+	TotalUploads int       `json:"total_uploads,omitempty"`
+}
+
+// Dataset is the in-memory form.
+type Dataset struct {
+	// Name, e.g. "pb10".
+	Name string `json:"name"`
+	// Start/End of the measurement window.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+
+	Torrents     []*TorrentRecord
+	Observations []Observation
+	Users        []UserRecord
+}
+
+// UserByName indexes user records.
+func (d *Dataset) UserByName() map[string]UserRecord {
+	out := make(map[string]UserRecord, len(d.Users))
+	for _, u := range d.Users {
+		out[u.Username] = u
+	}
+	return out
+}
+
+// AddTorrent appends a record.
+func (d *Dataset) AddTorrent(r *TorrentRecord) { d.Torrents = append(d.Torrents, r) }
+
+// AddObservation appends an observation.
+func (d *Dataset) AddObservation(o Observation) { d.Observations = append(d.Observations, o) }
+
+// DistinctIPs counts distinct observed addresses (the paper's Table 1
+// "#IP addresses" column).
+func (d *Dataset) DistinctIPs() int {
+	seen := make(map[string]struct{}, len(d.Observations)/4+1)
+	for _, o := range d.Observations {
+		seen[o.IP] = struct{}{}
+	}
+	return len(seen)
+}
+
+// TorrentsWithUsername counts records with a username.
+func (d *Dataset) TorrentsWithUsername() int {
+	n := 0
+	for _, t := range d.Torrents {
+		if t.Username != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TorrentsWithIP counts records whose initial publisher IP was identified.
+func (d *Dataset) TorrentsWithIP() int {
+	n := 0
+	for _, t := range d.Torrents {
+		if t.PublisherIP != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// ByTorrentID indexes torrent records.
+func (d *Dataset) ByTorrentID() map[int]*TorrentRecord {
+	out := make(map[int]*TorrentRecord, len(d.Torrents))
+	for _, t := range d.Torrents {
+		out[t.TorrentID] = t
+	}
+	return out
+}
+
+// ObservationsByTorrent groups observations per torrent, each group sorted
+// by time.
+func (d *Dataset) ObservationsByTorrent() map[int][]Observation {
+	out := map[int][]Observation{}
+	for _, o := range d.Observations {
+		out[o.TorrentID] = append(out[o.TorrentID], o)
+	}
+	for id := range out {
+		obs := out[id]
+		sort.Slice(obs, func(i, j int) bool { return obs[i].At.Before(obs[j].At) })
+	}
+	return out
+}
+
+// ParseIP parses an observation/record address.
+func ParseIP(s string) (netip.Addr, error) {
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("dataset: bad IP %q: %w", s, err)
+	}
+	return addr, nil
+}
+
+// ---------------------------------------------------------------------
+// JSONL persistence: a header line, then one line per torrent record, then
+// one line per observation.
+// ---------------------------------------------------------------------
+
+type lineKind struct {
+	Kind string `json:"kind"`
+}
+
+type headerLine struct {
+	Kind  string    `json:"kind"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+type torrentLine struct {
+	Kind string `json:"kind"`
+	*TorrentRecord
+}
+
+type obsLine struct {
+	Kind string `json:"kind"`
+	Observation
+}
+
+type userLine struct {
+	Kind string `json:"kind"`
+	UserRecord
+}
+
+// Write streams the dataset to w as JSON Lines.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerLine{Kind: "header", Name: d.Name, Start: d.Start, End: d.End}); err != nil {
+		return err
+	}
+	for _, t := range d.Torrents {
+		if err := enc.Encode(torrentLine{Kind: "torrent", TorrentRecord: t}); err != nil {
+			return err
+		}
+	}
+	for _, o := range d.Observations {
+		if err := enc.Encode(obsLine{Kind: "obs", Observation: o}); err != nil {
+			return err
+		}
+	}
+	for _, u := range d.Users {
+		if err := enc.Encode(userLine{Kind: "user", UserRecord: u}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a dataset from JSONL.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	d := &Dataset{}
+	sawHeader := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var k lineKind
+		if err := json.Unmarshal(line, &k); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		switch k.Kind {
+		case "header":
+			var h headerLine
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, fmt.Errorf("dataset: header: %w", err)
+			}
+			d.Name, d.Start, d.End = h.Name, h.Start, h.End
+			sawHeader = true
+		case "torrent":
+			var t torrentLine
+			t.TorrentRecord = &TorrentRecord{}
+			if err := json.Unmarshal(line, &t); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			d.Torrents = append(d.Torrents, t.TorrentRecord)
+		case "obs":
+			var o obsLine
+			if err := json.Unmarshal(line, &o); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			d.Observations = append(d.Observations, o.Observation)
+		case "user":
+			var u userLine
+			if err := json.Unmarshal(line, &u); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+			d.Users = append(d.Users, u.UserRecord)
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown kind %q", lineNo, k.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, errors.New("dataset: missing header line")
+	}
+	return d, nil
+}
+
+// Save writes the dataset to a file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

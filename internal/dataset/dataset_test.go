@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+
+func sampleDataset() *Dataset {
+	d := &Dataset{Name: "pb10-test", Start: t0, End: t0.AddDate(0, 1, 0)}
+	d.AddTorrent(&TorrentRecord{
+		TorrentID: 0, InfoHash: strings.Repeat("ab", 20),
+		Title: "Some.Movie.2010", Category: "Video > Movies",
+		SizeBytes: 700 << 20, FileName: "Some.Movie.2010.avi",
+		Username: "ultratorrents07", PublisherIP: "11.0.0.7",
+		Published: t0.Add(3 * time.Hour), FirstSeenSeeders: 1, FirstSeenPeers: 4,
+		Description:  "visit www.ultratorrents.com",
+		BundledFiles: []string{"Visit www.ultratorrents.com.txt"},
+	})
+	d.AddTorrent(&TorrentRecord{
+		TorrentID: 1, InfoHash: strings.Repeat("cd", 20),
+		Title: "Fake.Release", Category: "Video > Movies",
+		Published: t0.Add(5 * time.Hour), FirstSeenSeeders: 1, FirstSeenPeers: 2,
+		Username: "xk2j9qpa", Removed: true,
+	})
+	d.AddObservation(Observation{TorrentID: 0, IP: "11.0.0.7", At: t0.Add(3 * time.Hour), Seeder: true})
+	d.AddObservation(Observation{TorrentID: 0, IP: "20.1.2.3", At: t0.Add(4 * time.Hour)})
+	d.AddObservation(Observation{TorrentID: 0, IP: "20.1.2.3", At: t0.Add(5 * time.Hour)})
+	d.AddObservation(Observation{TorrentID: 1, IP: "20.9.9.9", At: t0.Add(6 * time.Hour)})
+	return d
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := sampleDataset()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || !got.Start.Equal(d.Start) || !got.End.Equal(d.End) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Torrents) != 2 || len(got.Observations) != 4 {
+		t.Fatalf("sizes = %d/%d", len(got.Torrents), len(got.Observations))
+	}
+	if !reflect.DeepEqual(got.Torrents[0], d.Torrents[0]) {
+		t.Fatalf("torrent record mismatch:\n%+v\n%+v", got.Torrents[0], d.Torrents[0])
+	}
+	if got.Observations[3] != d.Observations[3] {
+		t.Fatalf("observation mismatch")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	d := sampleDataset()
+	path := filepath.Join(t.TempDir(), "ds.jsonl")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DistinctIPs() != d.DistinctIPs() {
+		t.Fatal("file round trip changed content")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",                             // no header
+		"{\"kind\":\"obs\",\"t\":0}\n", // observation before header is fine? No: missing header entirely
+		"not json\n",
+		"{\"kind\":\"martian\"}\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDistinctIPs(t *testing.T) {
+	d := sampleDataset()
+	if got := d.DistinctIPs(); got != 3 {
+		t.Fatalf("distinct IPs = %d, want 3", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := sampleDataset()
+	if got := d.TorrentsWithUsername(); got != 2 {
+		t.Fatalf("with username = %d", got)
+	}
+	if got := d.TorrentsWithIP(); got != 1 {
+		t.Fatalf("with IP = %d", got)
+	}
+}
+
+func TestObservationsByTorrentSorted(t *testing.T) {
+	d := &Dataset{Name: "x", Start: t0, End: t0.Add(time.Hour)}
+	d.AddObservation(Observation{TorrentID: 5, IP: "1.1.1.1", At: t0.Add(30 * time.Minute)})
+	d.AddObservation(Observation{TorrentID: 5, IP: "1.1.1.2", At: t0.Add(10 * time.Minute)})
+	d.AddObservation(Observation{TorrentID: 6, IP: "1.1.1.3", At: t0.Add(20 * time.Minute)})
+	byT := d.ObservationsByTorrent()
+	if len(byT) != 2 {
+		t.Fatalf("groups = %d", len(byT))
+	}
+	obs5 := byT[5]
+	if len(obs5) != 2 || obs5[0].At.After(obs5[1].At) {
+		t.Fatalf("torrent 5 observations not sorted: %+v", obs5)
+	}
+}
+
+func TestByTorrentID(t *testing.T) {
+	d := sampleDataset()
+	idx := d.ByTorrentID()
+	if idx[1] == nil || idx[1].Title != "Fake.Release" {
+		t.Fatalf("index = %+v", idx)
+	}
+}
+
+func TestParseIP(t *testing.T) {
+	if _, err := ParseIP("11.0.0.7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseIP("not-an-ip"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestEmptyDatasetRoundTrip(t *testing.T) {
+	d := &Dataset{Name: "empty", Start: t0, End: t0}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Torrents) != 0 || len(got.Observations) != 0 || got.Name != "empty" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestLargeDatasetStreamRoundTrip(t *testing.T) {
+	d := &Dataset{Name: "big", Start: t0, End: t0.AddDate(0, 1, 0)}
+	for i := 0; i < 500; i++ {
+		d.AddTorrent(&TorrentRecord{TorrentID: i, InfoHash: strings.Repeat("00", 20), Published: t0})
+		for j := 0; j < 20; j++ {
+			d.AddObservation(Observation{TorrentID: i, IP: "10.0.0.1", At: t0})
+		}
+	}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Torrents) != 500 || len(got.Observations) != 10000 {
+		t.Fatalf("sizes = %d/%d", len(got.Torrents), len(got.Observations))
+	}
+}

@@ -1,0 +1,155 @@
+package ecosystem
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"btpub/internal/population"
+	"btpub/internal/swarm"
+)
+
+// seedPlan is the computed seeding schedule of one publisher for one
+// torrent: when the publisher starts seeding it (queuing behind its
+// MaxParallel slots), when it abandons it, and the resulting presence
+// intervals after intersecting with the publisher's daily online window.
+type seedPlan struct {
+	start, leave time.Time
+	intervals    []swarm.Interval
+	ips          []netip.Addr
+}
+
+// planner tracks per-publisher seeding slots so torrents queue when the
+// publisher is already seeding MaxParallel others (Section 4.3's parallel
+// seeding cap).
+type planner struct {
+	pub   *population.Publisher
+	start time.Time // campaign start, anchor for ActiveIP
+	slots []time.Time
+}
+
+func newPlanner(pub *population.Publisher, campaignStart time.Time) *planner {
+	n := pub.Seed.MaxParallel
+	if n <= 0 {
+		n = 1
+	}
+	return &planner{pub: pub, start: campaignStart, slots: make([]time.Time, n)}
+}
+
+// maxSeedFactor bounds how long a genuine publisher waits for the swarm to
+// become self-sustaining before giving up anyway.
+const maxSeedFactor = 2.5
+
+// plan computes the schedule for one torrent. sw must already exist (its
+// pre-generated peer schedule decides when other seeders appear); removal
+// is the portal take-down instant (zero for genuine content).
+func (pl *planner) plan(sw *swarm.Swarm, publish, removal time.Time) seedPlan {
+	// Find the earliest free slot.
+	slot := 0
+	for i := 1; i < len(pl.slots); i++ {
+		if pl.slots[i].Before(pl.slots[slot]) {
+			pl.slots[i], pl.slots[slot] = pl.slots[slot], pl.slots[i]
+		}
+	}
+	start := publish
+	if pl.slots[slot].After(start) {
+		// Publisher is saturated; the swarm waits without its initial
+		// seeder — the paper observed exactly such seederless newborn
+		// swarms (Section 2, footnote 2).
+		start = pl.slots[slot]
+	}
+
+	var leave time.Time
+	policy := pl.pub.Seed
+	switch {
+	case !removal.IsZero():
+		// Fake content: nobody else ever seeds, the publisher holds the
+		// torrent alive until the portal removes it.
+		leave = removal
+		if ms := start.Add(policy.MinSeed); ms.After(leave) {
+			leave = ms // keep decoys around even if moderation was fast
+		}
+	default:
+		minLeave := start.Add(policy.MinSeed)
+		capLeave := start.Add(time.Duration(maxSeedFactor * float64(policy.MinSeed)))
+		leave = capLeave
+		if policy.TargetSeeders > 0 {
+			for _, iv := range sw.SeederIntervals(policy.TargetSeeders) {
+				if !iv.End.Before(minLeave) {
+					// The swarm is self-sustaining from max(iv.Start, minLeave).
+					t := iv.Start
+					if t.Before(minLeave) {
+						t = minLeave
+					}
+					if t.Before(capLeave) {
+						leave = t
+					}
+					break
+				}
+			}
+		}
+	}
+	if leave.Before(start) {
+		leave = start
+	}
+	pl.slots[slot] = leave
+
+	intervals := onlineWindows(policy, pl.start, start, leave)
+	ips := make([]netip.Addr, len(intervals))
+	for i, iv := range intervals {
+		ips[i] = pl.pub.ActiveIP(iv.Start.Sub(pl.start))
+	}
+	return seedPlan{start: start, leave: leave, intervals: intervals, ips: ips}
+}
+
+// onlineWindows intersects [start, leave) with the publisher's daily online
+// window. Always-on publishers get the single full interval.
+func onlineWindows(policy population.SeedPolicy, campaignStart, start, leave time.Time) []swarm.Interval {
+	if !leave.After(start) {
+		return nil
+	}
+	if policy.AlwaysOn() {
+		return []swarm.Interval{{Start: start, End: leave}}
+	}
+	var out []swarm.Interval
+	// Walk day by day from the midnight before start.
+	day := start.Truncate(24 * time.Hour)
+	for !day.After(leave) {
+		wStart := day.Add(time.Duration(policy.OnlineStart) * time.Hour)
+		wEnd := wStart.Add(policy.DailyOnline)
+		lo := wStart
+		if lo.Before(start) {
+			lo = start
+		}
+		hi := wEnd
+		if hi.After(leave) {
+			hi = leave
+		}
+		if hi.After(lo) {
+			out = append(out, swarm.Interval{Start: lo, End: hi})
+		}
+		day = day.Add(24 * time.Hour)
+	}
+	return mergeIntervals(out)
+}
+
+// mergeIntervals unions overlapping/adjacent intervals (a >24h online
+// window wraps into the next day's).
+func mergeIntervals(ivs []swarm.Interval) []swarm.Interval {
+	if len(ivs) < 2 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start.Before(ivs[j].Start) })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start.After(last.End) {
+			out = append(out, iv)
+			continue
+		}
+		if iv.End.After(last.End) {
+			last.End = iv.End
+		}
+	}
+	return out
+}

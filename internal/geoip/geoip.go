@@ -1,0 +1,227 @@
+// Package geoip is the reproduction's stand-in for the MaxMind GeoIP
+// database the paper uses to map peer and publisher IP addresses to their
+// ISP and geographical location.
+//
+// The database maps synthetic IPv4 space to a registry of named ISPs. Every
+// ISP owns a set of /16 prefixes; each prefix is pinned to one (country,
+// city) pair. This reproduces the structure the paper leans on in Table 3:
+// hosting providers concentrate their servers in a handful of prefixes and
+// data-center locations, while commercial ISPs scatter subscribers across
+// many prefixes and many cities.
+package geoip
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"btpub/internal/rng"
+)
+
+// ISPType distinguishes the two classes the paper contrasts.
+type ISPType int
+
+const (
+	// Commercial is a residential/business access provider (e.g. Comcast).
+	Commercial ISPType = iota
+	// Hosting is a server-rental provider (e.g. OVH).
+	Hosting
+)
+
+// String implements fmt.Stringer.
+func (t ISPType) String() string {
+	switch t {
+	case Commercial:
+		return "Commercial ISP"
+	case Hosting:
+		return "Hosting Provider"
+	default:
+		return fmt.Sprintf("ISPType(%d)", int(t))
+	}
+}
+
+// Prefix is one /16 block owned by an ISP, pinned to a location.
+type Prefix struct {
+	Base    uint32 // network address of the /16 (low 16 bits zero)
+	Country string
+	City    string
+}
+
+// ISP describes one provider in the registry.
+type ISP struct {
+	Name     string
+	Type     ISPType
+	Prefixes []Prefix
+}
+
+// Record is a lookup result.
+type Record struct {
+	ISP     string
+	Type    ISPType
+	Country string
+	City    string
+}
+
+// DB maps IPv4 addresses to Records.
+type DB struct {
+	isps     []*ISP
+	byName   map[string]*ISP
+	prefixes []dbPrefix // sorted by Base
+}
+
+type dbPrefix struct {
+	base uint32
+	rec  Record
+}
+
+// Builder allocates address space to ISPs and produces an immutable DB.
+type Builder struct {
+	next   uint32 // next free /16 network address
+	isps   []*ISP
+	byName map[string]*ISP
+	err    error
+}
+
+// NewBuilder returns a Builder allocating /16 blocks upward from start
+// (e.g. netip.MustParseAddr("11.0.0.0")). The low 16 bits of start must be
+// zero.
+func NewBuilder(start netip.Addr) *Builder {
+	b := &Builder{byName: map[string]*ISP{}}
+	if !start.Is4() {
+		b.err = errors.New("geoip: builder start must be IPv4")
+		return b
+	}
+	v := ipToUint(start)
+	if v&0xFFFF != 0 {
+		b.err = fmt.Errorf("geoip: builder start %v not /16 aligned", start)
+		return b
+	}
+	b.next = v
+	return b
+}
+
+// Location is a (country, city) pair for prefix assignment.
+type Location struct {
+	Country string
+	City    string
+}
+
+// AddISP registers an ISP owning numPrefixes /16 blocks spread over the
+// provided locations round-robin. Adding the same name twice is an error.
+func (b *Builder) AddISP(name string, typ ISPType, numPrefixes int, locations []Location) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if name == "" || numPrefixes <= 0 || len(locations) == 0 {
+		b.err = fmt.Errorf("geoip: bad AddISP(%q, %d prefixes, %d locations)", name, numPrefixes, len(locations))
+		return b
+	}
+	if _, dup := b.byName[name]; dup {
+		b.err = fmt.Errorf("geoip: duplicate ISP %q", name)
+		return b
+	}
+	isp := &ISP{Name: name, Type: typ}
+	for i := 0; i < numPrefixes; i++ {
+		loc := locations[i%len(locations)]
+		isp.Prefixes = append(isp.Prefixes, Prefix{Base: b.next, Country: loc.Country, City: loc.City})
+		b.next += 1 << 16
+		if b.next == 0 {
+			b.err = errors.New("geoip: address space exhausted")
+			return b
+		}
+	}
+	b.isps = append(b.isps, isp)
+	b.byName[name] = isp
+	return b
+}
+
+// Build finalises the database.
+func (b *Builder) Build() (*DB, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	db := &DB{isps: b.isps, byName: b.byName}
+	for _, isp := range b.isps {
+		for _, p := range isp.Prefixes {
+			db.prefixes = append(db.prefixes, dbPrefix{
+				base: p.Base,
+				rec:  Record{ISP: isp.Name, Type: isp.Type, Country: p.Country, City: p.City},
+			})
+		}
+	}
+	sort.Slice(db.prefixes, func(i, j int) bool { return db.prefixes[i].base < db.prefixes[j].base })
+	for i := 1; i < len(db.prefixes); i++ {
+		if db.prefixes[i].base == db.prefixes[i-1].base {
+			return nil, fmt.Errorf("geoip: overlapping prefixes at %s", uintToIP(db.prefixes[i].base))
+		}
+	}
+	return db, nil
+}
+
+// ErrNotFound reports an address outside all registered prefixes.
+var ErrNotFound = errors.New("geoip: address not in database")
+
+// Lookup resolves an address to its Record.
+func (db *DB) Lookup(addr netip.Addr) (Record, error) {
+	if !addr.Is4() {
+		return Record{}, fmt.Errorf("geoip: %v is not IPv4", addr)
+	}
+	v := ipToUint(addr)
+	base := v &^ 0xFFFF
+	i := sort.Search(len(db.prefixes), func(i int) bool { return db.prefixes[i].base >= base })
+	if i < len(db.prefixes) && db.prefixes[i].base == base {
+		return db.prefixes[i].rec, nil
+	}
+	return Record{}, ErrNotFound
+}
+
+// ISPNames lists all registered ISPs in registration order.
+func (db *DB) ISPNames() []string {
+	out := make([]string, len(db.isps))
+	for i, isp := range db.isps {
+		out[i] = isp.Name
+	}
+	return out
+}
+
+// ISPByName returns the ISP record, or nil.
+func (db *DB) ISPByName(name string) *ISP { return db.byName[name] }
+
+// RandomIP draws an address uniformly from one of the named ISP's prefixes.
+// When concentrate is in (0,1], draws are biased so that roughly that
+// fraction of addresses come from the ISP's first prefix — used to model
+// hosting providers racking servers in one data centre.
+func (db *DB) RandomIP(s *rng.Stream, ispName string, concentrate float64) (netip.Addr, error) {
+	isp := db.byName[ispName]
+	if isp == nil {
+		return netip.Addr{}, fmt.Errorf("geoip: unknown ISP %q", ispName)
+	}
+	var p Prefix
+	if concentrate > 0 && len(isp.Prefixes) > 1 && s.Bool(concentrate) {
+		p = isp.Prefixes[0]
+	} else {
+		p = isp.Prefixes[s.IntN(len(isp.Prefixes))]
+	}
+	// Avoid .0.0 (network) to keep addresses host-like.
+	host := uint32(s.IntN(1<<16-2)) + 1
+	return uintToIP(p.Base | host), nil
+}
+
+// Slash16 returns the /16 prefix identity of an address, used by the
+// analysis when reproducing Table 3 (distinct /16 prefixes per ISP).
+func Slash16(addr netip.Addr) (uint32, error) {
+	if !addr.Is4() {
+		return 0, fmt.Errorf("geoip: %v is not IPv4", addr)
+	}
+	return ipToUint(addr) &^ 0xFFFF, nil
+}
+
+func ipToUint(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func uintToIP(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

@@ -1,0 +1,248 @@
+package geoip
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"btpub/internal/rng"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := NewBuilder(netip.MustParseAddr("11.0.0.0")).
+		AddISP("HostCo", Hosting, 2, []Location{{"FR", "Roubaix"}}).
+		AddISP("CableCo", Commercial, 4, []Location{{"US", "Denver"}, {"US", "Miami"}}).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return db
+}
+
+func TestLookupInsidePrefixes(t *testing.T) {
+	db := testDB(t)
+	rec, err := db.Lookup(netip.MustParseAddr("11.0.42.7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ISP != "HostCo" || rec.Type != Hosting || rec.Country != "FR" || rec.City != "Roubaix" {
+		t.Fatalf("lookup = %+v", rec)
+	}
+	rec, err = db.Lookup(netip.MustParseAddr("11.3.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ISP != "CableCo" || rec.Type != Commercial {
+		t.Fatalf("lookup = %+v", rec)
+	}
+	// Prefix 11.3 is CableCo's second prefix -> second location.
+	if rec.City != "Miami" {
+		t.Fatalf("city = %q, want Miami (round-robin locations)", rec.City)
+	}
+}
+
+func TestLookupOutsideRegistry(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Lookup(netip.MustParseAddr("99.0.0.1")); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupRejectsIPv6(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Lookup(netip.MustParseAddr("::1")); err == nil {
+		t.Fatal("IPv6 lookup succeeded")
+	}
+}
+
+func TestRandomIPStaysInsideISP(t *testing.T) {
+	db := testDB(t)
+	s := rng.New(1, "geoip")
+	for i := 0; i < 500; i++ {
+		addr, err := db.RandomIP(s, "CableCo", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := db.Lookup(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.ISP != "CableCo" {
+			t.Fatalf("RandomIP(CableCo) = %v resolved to %q", addr, rec.ISP)
+		}
+	}
+}
+
+func TestRandomIPConcentration(t *testing.T) {
+	db := testDB(t)
+	s := rng.New(2, "conc")
+	first := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		addr, err := db.RandomIP(s, "CableCo", 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Slash16(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == db.ISPByName("CableCo").Prefixes[0].Base {
+			first++
+		}
+	}
+	frac := float64(first) / n
+	if frac < 0.85 || frac > 0.99 {
+		t.Fatalf("concentration = %v, want ~0.9+", frac)
+	}
+}
+
+func TestRandomIPUnknownISP(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.RandomIP(rng.New(1, "x"), "NoSuch", 0); err == nil {
+		t.Fatal("unknown ISP accepted")
+	}
+}
+
+func TestBuilderRejectsDuplicates(t *testing.T) {
+	_, err := NewBuilder(netip.MustParseAddr("11.0.0.0")).
+		AddISP("A", Hosting, 1, []Location{{"FR", "Paris"}}).
+		AddISP("A", Hosting, 1, []Location{{"FR", "Paris"}}).
+		Build()
+	if err == nil {
+		t.Fatal("duplicate ISP accepted")
+	}
+}
+
+func TestBuilderRejectsBadStart(t *testing.T) {
+	if _, err := NewBuilder(netip.MustParseAddr("11.0.0.1")).Build(); err == nil {
+		t.Fatal("unaligned start accepted")
+	}
+	if _, err := NewBuilder(netip.MustParseAddr("::1")).Build(); err == nil {
+		t.Fatal("IPv6 start accepted")
+	}
+}
+
+func TestBuilderRejectsBadISPArgs(t *testing.T) {
+	if _, err := NewBuilder(netip.MustParseAddr("11.0.0.0")).
+		AddISP("", Hosting, 1, []Location{{"FR", "Paris"}}).Build(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewBuilder(netip.MustParseAddr("11.0.0.0")).
+		AddISP("A", Hosting, 0, []Location{{"FR", "Paris"}}).Build(); err == nil {
+		t.Fatal("zero prefixes accepted")
+	}
+	if _, err := NewBuilder(netip.MustParseAddr("11.0.0.0")).
+		AddISP("A", Hosting, 1, nil).Build(); err == nil {
+		t.Fatal("no locations accepted")
+	}
+}
+
+func TestSlash16(t *testing.T) {
+	p, err := Slash16(netip.MustParseAddr("11.7.200.13"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(11)<<24 | uint32(7)<<16
+	if p != want {
+		t.Fatalf("Slash16 = %x, want %x", p, want)
+	}
+}
+
+func TestDefaultDBCoversPaperISPs(t *testing.T) {
+	db, err := DefaultDB()
+	if err != nil {
+		t.Fatalf("DefaultDB: %v", err)
+	}
+	for _, name := range []string{OVH, Comcast, Tzulo, FDCServers, FourRWEB, Telefonica, Virgin} {
+		if db.ISPByName(name) == nil {
+			t.Errorf("DefaultDB missing %q", name)
+		}
+	}
+	// OVH must look like the paper's OVH: few prefixes.
+	ovh := db.ISPByName(OVH)
+	if len(ovh.Prefixes) > 10 {
+		t.Errorf("OVH has %d prefixes, want few", len(ovh.Prefixes))
+	}
+	if ovh.Type != Hosting {
+		t.Errorf("OVH type = %v", ovh.Type)
+	}
+	// Comcast must be diverse: many prefixes, many cities.
+	cc := db.ISPByName(Comcast)
+	if len(cc.Prefixes) < 100 {
+		t.Errorf("Comcast has %d prefixes, want hundreds", len(cc.Prefixes))
+	}
+	cities := map[string]bool{}
+	for _, p := range cc.Prefixes {
+		cities[p.City] = true
+	}
+	if len(cities) < 20 {
+		t.Errorf("Comcast spans %d cities, want many", len(cities))
+	}
+	if cc.Type != Commercial {
+		t.Errorf("Comcast type = %v", cc.Type)
+	}
+}
+
+func TestDefaultDBLookupEveryISPRandomIP(t *testing.T) {
+	db, err := DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rng.New(3, "all")
+	for _, name := range db.ISPNames() {
+		addr, err := db.RandomIP(s, name, 0)
+		if err != nil {
+			t.Fatalf("RandomIP(%s): %v", name, err)
+		}
+		rec, err := db.Lookup(addr)
+		if err != nil {
+			t.Fatalf("Lookup(%v) for %s: %v", addr, name, err)
+		}
+		if rec.ISP != name {
+			t.Fatalf("RandomIP(%s) resolved to %s", name, rec.ISP)
+		}
+	}
+}
+
+func TestFakeHostingProvidersAreHosting(t *testing.T) {
+	db, err := DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range FakeHostingProviders() {
+		isp := db.ISPByName(name)
+		if isp == nil || isp.Type != Hosting {
+			t.Errorf("%s should be a registered hosting provider", name)
+		}
+	}
+}
+
+// Property: every address generated by RandomIP resolves, and its /16 is one
+// of the owning ISP's prefixes.
+func TestRandomIPLookupProperty(t *testing.T) {
+	db := testDB(t)
+	s := rng.New(4, "prop")
+	names := db.ISPNames()
+	f := func(pick uint8, conc uint8) bool {
+		name := names[int(pick)%len(names)]
+		addr, err := db.RandomIP(s, name, float64(conc%100)/100)
+		if err != nil {
+			return false
+		}
+		p16, err := Slash16(addr)
+		if err != nil {
+			return false
+		}
+		for _, p := range db.ISPByName(name).Prefixes {
+			if p.Base == p16 {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package metainfo
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func buildValid(t *testing.T) *Torrent {
+	t.Helper()
+	b := Builder{
+		Name:     "Some.Movie.2010.DVDRip.avi",
+		Length:   700 << 20,
+		Announce: "http://tracker.test/announce",
+		Created:  time.Date(2010, 4, 7, 12, 0, 0, 0, time.UTC),
+		Seed:     12345,
+	}
+	tor, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tor
+}
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	tor := buildValid(t)
+	data, err := tor.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Info.Name != tor.Info.Name || got.Info.Length != tor.Info.Length {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got.Info, tor.Info)
+	}
+	if got.Announce != tor.Announce {
+		t.Fatalf("announce mismatch: %q vs %q", got.Announce, tor.Announce)
+	}
+	if !got.Created().Equal(tor.Created()) {
+		t.Fatalf("created mismatch: %v vs %v", got.Created(), tor.Created())
+	}
+}
+
+func TestInfoHashStableAcrossRoundTrip(t *testing.T) {
+	tor := buildValid(t)
+	h1, err := tor.InfoHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tor.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := got.InfoHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("info-hash changed across round trip: %s vs %s", h1, h2)
+	}
+}
+
+func TestInfoHashDistinguishesContent(t *testing.T) {
+	a := buildValid(t)
+	b := Builder{Name: "Some.Movie.2010.DVDRip.avi", Length: 700 << 20,
+		Announce: "http://tracker.test/announce", Seed: 99999}
+	tb, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := a.InfoHash()
+	hb, _ := tb.InfoHash()
+	if ha == hb {
+		t.Fatal("different seeds produced identical info-hashes")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	var h Hash
+	h[0] = 0xAB
+	h[19] = 0x01
+	s := h.String()
+	if len(s) != 40 {
+		t.Fatalf("hash string length = %d", len(s))
+	}
+	if !strings.HasPrefix(s, "ab") || !strings.HasSuffix(s, "01") {
+		t.Fatalf("hash string = %q", s)
+	}
+}
+
+func TestNumPieces(t *testing.T) {
+	for _, tc := range []struct {
+		length, pieceLen int64
+		want             int
+	}{
+		{100, 100, 1},
+		{101, 100, 2},
+		{1 << 20, 256 << 10, 4},
+		{1, 256 << 10, 1},
+	} {
+		b := Builder{Name: "x", Length: tc.length, PieceLength: tc.pieceLen,
+			Announce: "http://t/a", Seed: 1}
+		tor, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", tc, err)
+		}
+		if got := tor.Info.NumPieces(); got != tc.want {
+			t.Fatalf("NumPieces(len=%d,pl=%d) = %d, want %d", tc.length, tc.pieceLen, got, tc.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadInfo(t *testing.T) {
+	cases := []Info{
+		{Name: "", Length: 1, PieceLength: 1, Pieces: make([]byte, 20)},
+		{Name: "x", Length: 0, PieceLength: 1, Pieces: nil},
+		{Name: "x", Length: 10, PieceLength: 0, Pieces: make([]byte, 20)},
+		{Name: "x", Length: 10, PieceLength: 5, Pieces: make([]byte, 19)},
+		{Name: "x", Length: 10, PieceLength: 5, Pieces: make([]byte, 20)}, // want 2 pieces
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, in)
+		}
+	}
+}
+
+func TestBuilderRejectsNonPositiveLength(t *testing.T) {
+	b := Builder{Name: "x", Announce: "http://t/a"}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestMarshalRequiresAnnounce(t *testing.T) {
+	tor := buildValid(t)
+	tor.Announce = ""
+	if _, err := tor.Marshal(); err == nil {
+		t.Fatal("empty announce accepted")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "i42e", "d4:infodee", "not bencode"} {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+// Property: building with the same parameters is deterministic, and the
+// info-hash depends on the seed.
+func TestBuildDeterminismProperty(t *testing.T) {
+	f := func(seed uint64, ln uint32) bool {
+		length := int64(ln%(1<<24)) + 1
+		b := Builder{Name: "n", Length: length, Announce: "http://t/a", Seed: seed}
+		t1, err1 := b.Build()
+		t2, err2 := b.Build()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		h1, _ := t1.InfoHash()
+		h2, _ := t2.InfoHash()
+		return h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

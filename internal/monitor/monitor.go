@@ -1,0 +1,228 @@
+// Package monitor implements the paper's Section 7 software: a service
+// that continuously watches a portal's RSS feed, records every new
+// publication with its publisher, identifies publisher IPs and ISPs, flags
+// fake publishers as the portal removes them, and exposes the database
+// through a web interface.
+package monitor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+)
+
+// Record is one monitored publication.
+type Record struct {
+	Title     string    `json:"title"`
+	Category  string    `json:"category"`
+	Username  string    `json:"username"`
+	IP        string    `json:"ip,omitempty"`
+	ISP       string    `json:"isp,omitempty"`
+	City      string    `json:"city,omitempty"`
+	Country   string    `json:"country,omitempty"`
+	Published time.Time `json:"published"`
+	Removed   bool      `json:"removed,omitempty"`
+	PromoURL  string    `json:"promo_url,omitempty"`
+}
+
+// PublisherInfo is the per-publisher page (the paper's per-publisher view
+// with promoted URL and business type).
+type PublisherInfo struct {
+	Username  string    `json:"username"`
+	Torrents  int       `json:"torrents"`
+	IPs       []string  `json:"ips,omitempty"`
+	ISPs      []string  `json:"isps,omitempty"`
+	Fake      bool      `json:"fake"`
+	PromoURL  string    `json:"promo_url,omitempty"`
+	Business  string    `json:"business,omitempty"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+}
+
+// DB is the monitoring database.
+type DB struct {
+	mu         sync.RWMutex
+	records    []Record
+	publishers map[string]*PublisherInfo
+	geo        *geoip.DB
+}
+
+// NewDB creates an empty database; geo may be nil (no ISP resolution).
+func NewDB(geo *geoip.DB) *DB {
+	return &DB{publishers: map[string]*PublisherInfo{}, geo: geo}
+}
+
+// Ingest adds one publication.
+func (db *DB) Ingest(rec Record) error {
+	if rec.Username == "" {
+		return errors.New("monitor: record without username")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if rec.IP != "" && db.geo != nil {
+		if addr, err := dataset.ParseIP(rec.IP); err == nil {
+			if r, err := db.geo.Lookup(addr); err == nil {
+				rec.ISP, rec.City, rec.Country = r.ISP, r.City, r.Country
+			}
+		}
+	}
+	db.records = append(db.records, rec)
+	p := db.publishers[rec.Username]
+	if p == nil {
+		p = &PublisherInfo{Username: rec.Username, FirstSeen: rec.Published}
+		db.publishers[rec.Username] = p
+	}
+	p.Torrents++
+	p.LastSeen = rec.Published
+	if rec.Removed {
+		p.Fake = true
+	}
+	if rec.PromoURL != "" {
+		p.PromoURL = rec.PromoURL
+	}
+	if rec.IP != "" {
+		found := false
+		for _, ip := range p.IPs {
+			if ip == rec.IP {
+				found = true
+			}
+		}
+		if !found {
+			p.IPs = append(p.IPs, rec.IP)
+			if rec.ISP != "" {
+				p.ISPs = append(p.ISPs, rec.ISP)
+			}
+		}
+	}
+	return nil
+}
+
+// IngestDataset bulk-loads a crawled dataset.
+func (db *DB) IngestDataset(ds *dataset.Dataset) error {
+	for _, t := range ds.Torrents {
+		if t.Username == "" {
+			continue
+		}
+		if err := db.Ingest(Record{
+			Title: t.Title, Category: t.Category, Username: t.Username,
+			IP: t.PublisherIP, Published: t.Published, Removed: t.Removed,
+		}); err != nil {
+			return err
+		}
+	}
+	// Accounts the portal deleted are fake publishers even when none of
+	// the crawled uploads was caught mid-window.
+	for _, u := range ds.Users {
+		if u.Exists {
+			continue
+		}
+		db.mu.Lock()
+		if p := db.publishers[u.Username]; p != nil {
+			p.Fake = true
+		}
+		db.mu.Unlock()
+	}
+	return nil
+}
+
+// Publisher returns one publisher's info.
+func (db *DB) Publisher(username string) (PublisherInfo, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.publishers[username]
+	if !ok {
+		return PublisherInfo{}, false
+	}
+	return *p, true
+}
+
+// Publishers lists publishers sorted by published content, descending.
+func (db *DB) Publishers() []PublisherInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]PublisherInfo, 0, len(db.publishers))
+	for _, p := range db.publishers {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Torrents != out[j].Torrents {
+			return out[i].Torrents > out[j].Torrents
+		}
+		return out[i].Username < out[j].Username
+	})
+	return out
+}
+
+// Fakes lists publishers flagged fake — the filter the paper planned to
+// offer BitTorrent users.
+func (db *DB) Fakes() []PublisherInfo {
+	var out []PublisherInfo
+	for _, p := range db.Publishers() {
+		if p.Fake {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Records returns the most recent n publications, newest first by
+// publication time.
+func (db *DB) Records(n int) []Record {
+	db.mu.RLock()
+	cp := make([]Record, len(db.records))
+	copy(cp, db.records)
+	db.mu.RUnlock()
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Published.After(cp[j].Published) })
+	if n > 0 && n < len(cp) {
+		cp = cp[:n]
+	}
+	return cp
+}
+
+// Handler serves the query interface:
+//
+//	GET /publishers          JSON list of publishers
+//	GET /publisher?u=NAME    one publisher
+//	GET /fakes               fake publishers only
+//	GET /recent?n=50         latest publications
+type Handler struct{ DB *DB }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/publishers":
+		writeJSON(w, h.DB.Publishers())
+	case "/publisher":
+		u := r.URL.Query().Get("u")
+		p, ok := h.DB.Publisher(u)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, p)
+	case "/fakes":
+		writeJSON(w, h.DB.Fakes())
+	case "/recent":
+		n := 50
+		if _, err := fmt.Sscanf(r.URL.Query().Get("n"), "%d", &n); err != nil {
+			n = 50
+		}
+		writeJSON(w, h.DB.Records(n))
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

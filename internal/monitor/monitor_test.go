@@ -1,0 +1,135 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"btpub/internal/dataset"
+)
+
+var t0 = time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+
+func seededDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB(nil)
+	ds := &dataset.Dataset{Name: "m", Start: t0, End: t0.AddDate(0, 1, 0)}
+	for i := 0; i < 5; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, Title: "A", Username: "bigpub",
+			PublisherIP: "11.0.0.1", Published: t0.Add(time.Duration(i) * time.Hour),
+		})
+	}
+	ds.AddTorrent(&dataset.TorrentRecord{
+		TorrentID: 5, Title: "F", Username: "ghost",
+		Published: t0, Removed: true,
+	})
+	ds.Users = []dataset.UserRecord{
+		{Username: "bigpub", Exists: true},
+		{Username: "ghost", Exists: false},
+	}
+	if err := db.IngestDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestIngestAndQuery(t *testing.T) {
+	db := seededDB(t)
+	p, ok := db.Publisher("bigpub")
+	if !ok || p.Torrents != 5 || p.Fake {
+		t.Fatalf("bigpub = %+v ok=%v", p, ok)
+	}
+	if len(p.IPs) != 1 || p.IPs[0] != "11.0.0.1" {
+		t.Fatalf("IPs = %v", p.IPs)
+	}
+	g, ok := db.Publisher("ghost")
+	if !ok || !g.Fake {
+		t.Fatalf("ghost = %+v", g)
+	}
+	if _, ok := db.Publisher("nobody"); ok {
+		t.Fatal("unknown publisher found")
+	}
+}
+
+func TestPublishersSortedAndFakesFiltered(t *testing.T) {
+	db := seededDB(t)
+	pubs := db.Publishers()
+	if len(pubs) != 2 || pubs[0].Username != "bigpub" {
+		t.Fatalf("publishers = %+v", pubs)
+	}
+	fakes := db.Fakes()
+	if len(fakes) != 1 || fakes[0].Username != "ghost" {
+		t.Fatalf("fakes = %+v", fakes)
+	}
+}
+
+func TestRecentNewestFirst(t *testing.T) {
+	db := seededDB(t)
+	recs := db.Records(3)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Published.Before(recs[1].Published) {
+		t.Fatal("not newest first")
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	db := NewDB(nil)
+	if err := db.Ingest(Record{}); err == nil {
+		t.Fatal("empty record accepted")
+	}
+}
+
+func TestHTTPInterface(t *testing.T) {
+	db := seededDB(t)
+	srv := httptest.NewServer(&Handler{DB: db})
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/publishers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pubs []PublisherInfo
+	if err := json.NewDecoder(resp.Body).Decode(&pubs); err != nil {
+		t.Fatal(err)
+	}
+	if len(pubs) != 2 {
+		t.Fatalf("publishers over HTTP = %d", len(pubs))
+	}
+
+	resp2, err := http.Get(srv.URL + "/publisher?u=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var p PublisherInfo
+	if err := json.NewDecoder(resp2.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Fake {
+		t.Fatal("ghost not fake over HTTP")
+	}
+
+	if resp3, err := http.Get(srv.URL + "/publisher?u=missing"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp3.Body.Close()
+		if resp3.StatusCode != http.StatusNotFound {
+			t.Fatalf("missing publisher -> %d", resp3.StatusCode)
+		}
+	}
+
+	if resp4, err := http.Get(srv.URL + "/fakes"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp4.Body.Close()
+		if resp4.StatusCode != http.StatusOK {
+			t.Fatalf("/fakes -> %d", resp4.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package population
+
+import (
+	"fmt"
+	"strings"
+
+	"btpub/internal/rng"
+)
+
+// Synthetic vocabulary for content titles. Names are invented; what matters
+// for the reproduction is structure (release-group style naming, catchy
+// recent titles for fakes, promo suffixes for profit-driven publishers).
+var (
+	movieWords = []string{
+		"Iron", "Midnight", "Crimson", "Silent", "Broken", "Golden", "Savage",
+		"Hidden", "Final", "Rising", "Lost", "Burning", "Frozen", "Electric",
+		"Paper", "Hollow", "Scarlet", "Shattered", "Velvet", "Thunder",
+	}
+	movieNouns = []string{
+		"Empire", "Horizon", "Protocol", "Legacy", "Paradox", "Kingdom",
+		"Vendetta", "Harbor", "Covenant", "Outlaw", "Labyrinth", "Eclipse",
+		"Frontier", "Requiem", "Citadel", "Mirage", "Voyage", "Tempest",
+	}
+	tvShows = []string{
+		"Harbor.Lights", "The.Precinct", "Cobalt.City", "Night.Shift",
+		"State.of.Play", "The.Archive", "Union.Square", "Cold.Case.Files",
+		"Doctors.Orders", "The.Verdict", "Fault.Lines", "Second.Chances",
+	}
+	musicArtists = []string{
+		"The Night Owls", "Paper Satellites", "Miss Verona", "DJ Kolibri",
+		"Northern Sons", "Azul Banda", "The Wandering", "Silver Parade",
+		"Los Ritmos", "Kaleido", "Mondegreen", "Stereo Ghosts",
+	}
+	appNames = []string{
+		"PhotoForge", "DiskMender", "SecureVault", "TurboRipper", "NetSnap",
+		"OfficeMate", "DriverGenius", "CleanSweep", "VideoMuxer", "PDFSmith",
+	}
+	gameNames = []string{
+		"Starfall Tactics", "Dungeon Relic", "Apex Racer", "Iron Brigade",
+		"Harvest Kingdom", "Shadow Arena", "Quantum Siege", "Rally Legends",
+	}
+	bookSubjects = []string{
+		"Cooking", "Photography", "Calculus", "Philosophy", "Woodworking",
+		"Astronomy", "Economics", "Chess", "Gardening", "Linguistics",
+	}
+	releaseGroups = []string{
+		"FXG", "aXXo2", "MAXSPEED", "NoGRP", "DIVERSE", "KLAXXON2", "VISION",
+		"EDGE2", "CRYPTiC", "SAiLORS",
+	}
+	pornStudios = []string{
+		"RedCurtain", "VelvetRoom", "MidnightBlue", "Peachline", "Lace&Co",
+	}
+	spanishTitles = []string{
+		"La.Ultima.Frontera", "El.Laberinto.Rojo", "Noches.De.Madrid",
+		"La.Sombra.Del.Mar", "Cronicas.Del.Sur", "El.Pacto.Secreto",
+	}
+)
+
+// langTag renders a language-specific marker used in titles.
+func langTag(lang string) string {
+	switch lang {
+	case "es":
+		return "SPANISH"
+	case "it":
+		return "iTALiAN"
+	case "nl":
+		return "DUTCH"
+	case "sv":
+		return "SWEDiSH"
+	default:
+		return ""
+	}
+}
+
+// makeTitle generates a display title plus the payload file name for a
+// torrent of the given category. Year is pinned to the campaign era.
+func makeTitle(s *rng.Stream, cat Category, lang string, fake bool) (title, file string) {
+	switch cat {
+	case Movies:
+		var base string
+		if lang == "es" && s.Bool(0.6) {
+			base = rng.Pick(s, spanishTitles)
+		} else {
+			base = rng.Pick(s, movieWords) + "." + rng.Pick(s, movieNouns)
+		}
+		year := 2009 + s.IntN(2)
+		quality := rng.Pick(s, []string{"DVDRip", "BRRip", "R5", "CAM", "DVDSCR"})
+		if fake {
+			// Fakes impersonate the freshest, hottest releases.
+			quality = rng.Pick(s, []string{"DVDSCR", "CAM", "TS"})
+			year = 2010
+		}
+		tag := langTag(lang)
+		if tag != "" {
+			tag = "." + tag
+		}
+		title = fmt.Sprintf("%s.%d%s.%s.XviD-%s", base, year, tag, quality, rng.Pick(s, releaseGroups))
+		file = title + ".avi"
+	case TVShows:
+		show := rng.Pick(s, tvShows)
+		season := 1 + s.IntN(6)
+		ep := 1 + s.IntN(22)
+		title = fmt.Sprintf("%s.S%02dE%02d.HDTV.XviD-%s", show, season, ep, rng.Pick(s, releaseGroups))
+		file = title + ".avi"
+	case Porn:
+		title = fmt.Sprintf("%s.Vol.%d.XXX.DVDRip", rng.Pick(s, pornStudios), 1+s.IntN(40))
+		file = title + ".avi"
+	case Music:
+		artist := rng.Pick(s, musicArtists)
+		title = fmt.Sprintf("%s - Discography (%d albums) [MP3 320]", artist, 2+s.IntN(8))
+		file = strings.ReplaceAll(artist, " ", ".") + ".Discography.rar"
+	case Apps:
+		title = fmt.Sprintf("%s v%d.%d + keygen", rng.Pick(s, appNames), 1+s.IntN(12), s.IntN(10))
+		file = strings.ReplaceAll(title, " ", ".") + ".zip"
+	case Games:
+		title = fmt.Sprintf("%s [PC] RELOADED2", rng.Pick(s, gameNames))
+		file = strings.ReplaceAll(rng.Pick(s, gameNames), " ", ".") + ".iso"
+	case Books:
+		title = fmt.Sprintf("The Complete %s Handbook (PDF)", rng.Pick(s, bookSubjects))
+		file = strings.ReplaceAll(title, " ", ".") + ".pdf"
+	default:
+		title = fmt.Sprintf("Misc.Pack.%04d", s.IntN(10000))
+		file = title + ".rar"
+	}
+	return title, file
+}
+
+// sizeFor draws a plausible content size per category.
+func sizeFor(s *rng.Stream, cat Category) int64 {
+	mb := func(m float64) int64 { return int64(m * (1 << 20)) }
+	switch cat {
+	case Movies:
+		return mb(s.Uniform(700, 1500))
+	case TVShows:
+		return mb(s.Uniform(180, 400))
+	case Porn:
+		return mb(s.Uniform(300, 900))
+	case Music:
+		return mb(s.Uniform(80, 600))
+	case Apps:
+		return mb(s.Uniform(5, 300))
+	case Games:
+		return mb(s.Uniform(500, 4000))
+	case Books:
+		return mb(s.Uniform(2, 40))
+	default:
+		return mb(s.Uniform(10, 200))
+	}
+}
+
+var (
+	handleAdjectives = []string{
+		"ultra", "mega", "turbo", "prime", "royal", "silver", "magic",
+		"rapid", "nova", "delta", "omega", "hyper",
+	}
+	handleNouns = []string{
+		"torrents", "bits", "seeds", "swarm", "leech", "tracker", "share",
+		"pirate", "divx", "rips", "warez", "media",
+	}
+	regularHandles = []string{
+		"moviefan", "nighthawk", "gizmo", "redfox", "sailor", "drumline",
+		"quasar", "bluenote", "falcon", "matrixkid", "ronin", "voyager",
+		"ladybird", "storm", "pixel", "badger", "comet", "wombat",
+	}
+)
+
+// makeTopUsername generates a memorable handle for a top publisher; the
+// site URL is often derived from it (the paper's UltraTorrents →
+// www.ultratorrents.com case).
+func makeTopUsername(s *rng.Stream, id int) string {
+	return fmt.Sprintf("%s%s%02d", rng.Pick(s, handleAdjectives), rng.Pick(s, handleNouns), id%100)
+}
+
+// makeRegularUsername generates an ordinary user handle.
+func makeRegularUsername(s *rng.Stream, id int) string {
+	return fmt.Sprintf("%s_%d", rng.Pick(s, regularHandles), 100+id)
+}
+
+// makeFakeUsername generates a throwaway account name: either a random
+// string (manually created) or a mangled regular handle (hacked account).
+func makeFakeUsername(s *rng.Stream, id int) (name string, hacked bool) {
+	if s.Bool(0.3) {
+		// Hacked: looks like a real user.
+		return fmt.Sprintf("%s_%d", rng.Pick(s, regularHandles), 5000+id), true
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789"
+	n := 8 + s.IntN(5)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[s.IntN(len(letters))]
+	}
+	return string(b), false
+}
+
+// makeSiteURL derives a promoted URL. For portal businesses it usually
+// matches the username (that is one of the signals the paper used to link
+// usernames to sites).
+func makeSiteURL(s *rng.Stream, username string, b BusinessType) string {
+	switch b {
+	case BusinessPrivatePortal:
+		if s.Bool(0.7) {
+			return "www." + strings.ToLower(username) + ".com"
+		}
+		return fmt.Sprintf("www.%s%s.net", rng.Pick(s, handleAdjectives), rng.Pick(s, handleNouns))
+	case BusinessImageHosting:
+		return fmt.Sprintf("www.%spix.com", rng.Pick(s, handleAdjectives))
+	case BusinessForum:
+		return fmt.Sprintf("forum.%sboard.org", rng.Pick(s, handleAdjectives))
+	case BusinessReligious:
+		return fmt.Sprintf("www.%slightway.org", rng.Pick(s, handleAdjectives))
+	default:
+		return ""
+	}
+}

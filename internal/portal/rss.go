@@ -1,0 +1,148 @@
+package portal
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+)
+
+// RSS document model (RSS 2.0 with the Dublin Core creator extension the
+// real portals used for the uploader username).
+type rssDoc struct {
+	XMLName xml.Name   `xml:"rss"`
+	Version string     `xml:"version,attr"`
+	DC      string     `xml:"xmlns:dc,attr"`
+	Channel rssChannel `xml:"channel"`
+}
+
+type rssChannel struct {
+	Title       string    `xml:"title"`
+	Link        string    `xml:"link"`
+	Description string    `xml:"description"`
+	Items       []rssItem `xml:"item"`
+}
+
+type rssItem struct {
+	Title     string        `xml:"title"`
+	Link      string        `xml:"link"`
+	Category  string        `xml:"category"`
+	Creator   string        `xml:"dc:creator"`
+	PubDate   string        `xml:"pubDate"`
+	GUID      string        `xml:"guid"`
+	Enclosure *rssEnclosure `xml:"enclosure"`
+	Size      int64         `xml:"contentLength"`
+}
+
+type rssEnclosure struct {
+	URL    string `xml:"url,attr"`
+	Length int64  `xml:"length,attr"`
+	Type   string `xml:"type,attr"`
+}
+
+// RSS renders the portal's feed: the latest limit non-removed uploads.
+// baseURL is the externally visible portal root (e.g. http://127.0.0.1:8123).
+func (p *Portal) RSS(baseURL string, limit int) ([]byte, error) {
+	entries := p.Recent(limit)
+	doc := rssDoc{
+		Version: "2.0",
+		DC:      "http://purl.org/dc/elements/1.1/",
+		Channel: rssChannel{
+			Title:       p.Name,
+			Link:        baseURL,
+			Description: fmt.Sprintf("%s: new torrents feed", p.Name),
+		},
+	}
+	for _, e := range entries {
+		ih := e.InfoHash.String()
+		doc.Channel.Items = append(doc.Channel.Items, rssItem{
+			Title:    e.Title,
+			Link:     fmt.Sprintf("%s/page/%s", baseURL, ih),
+			Category: categoryLabel(e),
+			Creator:  e.Username,
+			PubDate:  e.Published.UTC().Format(time.RFC1123Z),
+			GUID:     ih,
+			Size:     e.SizeBytes,
+			Enclosure: &rssEnclosure{
+				URL:    fmt.Sprintf("%s/torrent/%s.torrent", baseURL, ih),
+				Length: int64(len(e.TorrentData)),
+				Type:   "application/x-bittorrent",
+			},
+		})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("portal: render RSS: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+func categoryLabel(e *Entry) string {
+	if e.SubCategory != "" {
+		return e.Category + " > " + e.SubCategory
+	}
+	return e.Category
+}
+
+// FeedItem is the crawler-side parsed form of one RSS item.
+type FeedItem struct {
+	Title      string
+	PageURL    string
+	TorrentURL string
+	Category   string
+	Username   string
+	Published  time.Time
+	GUID       string
+	SizeBytes  int64
+}
+
+// ParseRSS decodes a feed document produced by RSS (or any RSS 2.0 feed
+// with dc:creator).
+func ParseRSS(data []byte) ([]FeedItem, error) {
+	// encoding/xml cannot round-trip the "dc:" prefix on encode, but on
+	// decode the element is seen with its expanded name; accept both.
+	type inItem struct {
+		Title     string `xml:"title"`
+		Link      string `xml:"link"`
+		Category  string `xml:"category"`
+		CreatorDC string `xml:"http://purl.org/dc/elements/1.1/ creator"`
+		CreatorNP string `xml:"creator"`
+		PubDate   string `xml:"pubDate"`
+		GUID      string `xml:"guid"`
+		Size      int64  `xml:"contentLength"`
+		Enclosure struct {
+			URL string `xml:"url,attr"`
+		} `xml:"enclosure"`
+	}
+	var doc struct {
+		Items []inItem `xml:"channel>item"`
+	}
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("portal: parse RSS: %w", err)
+	}
+	out := make([]FeedItem, 0, len(doc.Items))
+	for _, it := range doc.Items {
+		creator := it.CreatorDC
+		if creator == "" {
+			creator = it.CreatorNP
+		}
+		pub, err := time.Parse(time.RFC1123Z, it.PubDate)
+		if err != nil {
+			// Tolerate RFC1123 without numeric zone.
+			pub, err = time.Parse(time.RFC1123, it.PubDate)
+			if err != nil {
+				return nil, fmt.Errorf("portal: bad pubDate %q", it.PubDate)
+			}
+		}
+		out = append(out, FeedItem{
+			Title:      it.Title,
+			PageURL:    it.Link,
+			TorrentURL: it.Enclosure.URL,
+			Category:   it.Category,
+			Username:   creator,
+			Published:  pub,
+			GUID:       it.GUID,
+			SizeBytes:  it.Size,
+		})
+	}
+	return out, nil
+}

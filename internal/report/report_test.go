@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"btpub/internal/campaign"
+)
+
+func TestRunAndRender(t *testing.T) {
+	res, err := campaign.Run(campaign.Spec{Scale: 0.01, MeanDownloads: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every experiment family must contribute at least one row.
+	families := map[string]bool{}
+	for _, row := range rep.Rows {
+		families[row.Experiment] = true
+		if row.Paper == "" || row.Measured == "" {
+			t.Fatalf("incomplete row: %+v", row)
+		}
+	}
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Table 2", "Table 3", "§3.3", "Figure 2",
+		"Figure 3", "Figure 4a", "Figure 4b", "Figure 4c", "§5.1",
+		"§6", "Appendix A",
+	} {
+		if !families[want] {
+			t.Errorf("missing experiment family %q", want)
+		}
+	}
+	if len(rep.Sections) < 10 {
+		t.Fatalf("only %d rendered sections", len(rep.Sections))
+	}
+
+	body := rep.Render()
+	for _, marker := range []string{
+		"# EXPERIMENTS", "| Experiment |", "Figure 1", "Appendix A",
+		"Table 5", "shape-level",
+	} {
+		if !strings.Contains(body, marker) {
+			t.Errorf("rendered report missing %q", marker)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package sessions implements the paper's Appendix A: estimating how long
+// a peer (in particular a content publisher) stayed in a torrent from the
+// random peer subsets the tracker returns.
+//
+// The tracker only ever reports a random W-sized subset of the N swarm
+// members, so a present peer is missed by any single query with probability
+// 1 - W/N. The paper models the probability of discovering a present peer
+// within m consecutive queries as
+//
+//	P = 1 - (1 - W/N)^m
+//
+// and derives that, with the conservative N = 165, W = 50 and one query
+// every 18 minutes, a present peer is seen within 4 hours with probability
+// greater than 0.99. A peer whose address does not appear for longer than
+// that gap is therefore considered offline, and its appearances are
+// stitched into sessions separated by gaps above the threshold.
+package sessions
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// DetectionProbability returns P = 1 - (1 - W/N)^m, the probability that a
+// peer present in a torrent with N members appears in at least one of m
+// tracker replies of W random members each. W >= N means certain detection.
+func DetectionProbability(w, n, m int) (float64, error) {
+	if w <= 0 || n <= 0 || m <= 0 {
+		return 0, errors.New("sessions: W, N, m must be positive")
+	}
+	if w >= n {
+		return 1, nil
+	}
+	return 1 - math.Pow(1-float64(w)/float64(n), float64(m)), nil
+}
+
+// QueriesForConfidence returns the smallest m with P >= confidence.
+func QueriesForConfidence(w, n int, confidence float64) (int, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, errors.New("sessions: confidence must be in (0,1)")
+	}
+	if w <= 0 || n <= 0 {
+		return 0, errors.New("sessions: W and N must be positive")
+	}
+	if w >= n {
+		return 1, nil
+	}
+	miss := 1 - float64(w)/float64(n)
+	// (miss)^m <= 1-confidence  =>  m >= log(1-confidence)/log(miss)
+	m := int(math.Ceil(math.Log(1-confidence) / math.Log(miss)))
+	if m < 1 {
+		m = 1
+	}
+	return m, nil
+}
+
+// PaperThreshold reproduces the Appendix A arithmetic: with the
+// conservative parameters (N=165, W=50, 18 minutes between queries) the
+// offline threshold comes out at ~4 hours for 0.99 confidence.
+func PaperThreshold() time.Duration {
+	m, err := QueriesForConfidence(50, 165, 0.99)
+	if err != nil {
+		panic("sessions: paper parameters invalid: " + err.Error())
+	}
+	return time.Duration(m) * 18 * time.Minute
+}
+
+// Session is one stitched presence interval.
+type Session struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the session length; single-sighting sessions have zero
+// duration before padding (see Estimator.MinSession).
+func (s Session) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Estimator stitches discrete sightings into sessions.
+type Estimator struct {
+	// Gap is the offline threshold: sightings separated by more than Gap
+	// start a new session. The paper uses 4h (and checks 2h/6h).
+	Gap time.Duration
+	// MinSession pads out sessions' duration to at least this value; a
+	// single sighting proves presence at that instant, and the crawler's
+	// query spacing bounds how much longer the peer could have stayed.
+	// Zero keeps raw durations.
+	MinSession time.Duration
+}
+
+// Stitch groups the sighting instants (any order, duplicates fine) into
+// sessions under the estimator's gap rule.
+func (e Estimator) Stitch(sightings []time.Time) []Session {
+	if len(sightings) == 0 {
+		return nil
+	}
+	ts := append([]time.Time(nil), sightings...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	gap := e.Gap
+	if gap <= 0 {
+		gap = PaperThreshold()
+	}
+	var out []Session
+	cur := Session{Start: ts[0], End: ts[0]}
+	for _, t := range ts[1:] {
+		if t.Sub(cur.End) > gap {
+			out = append(out, cur)
+			cur = Session{Start: t, End: t}
+			continue
+		}
+		cur.End = t
+	}
+	out = append(out, cur)
+	if e.MinSession > 0 {
+		for i := range out {
+			if out[i].Duration() < e.MinSession {
+				out[i].End = out[i].Start.Add(e.MinSession)
+			}
+		}
+	}
+	return out
+}
+
+// TotalDuration sums session durations.
+func TotalDuration(ss []Session) time.Duration {
+	var d time.Duration
+	for _, s := range ss {
+		d += s.Duration()
+	}
+	return d
+}
+
+// Overlap computes how much of [start, end) is covered by the sessions.
+func Overlap(ss []Session, start, end time.Time) time.Duration {
+	var d time.Duration
+	for _, s := range ss {
+		lo := s.Start
+		if lo.Before(start) {
+			lo = start
+		}
+		hi := s.End
+		if hi.After(end) {
+			hi = end
+		}
+		if hi.After(lo) {
+			d += hi.Sub(lo)
+		}
+	}
+	return d
+}
+
+// MaxParallel computes the maximum number of interval sets simultaneously
+// active: given per-torrent session lists for one publisher, it reports how
+// many torrents the publisher was seeding at once at peak (Figure 4(b) uses
+// the average; see AvgParallel).
+func MaxParallel(perTorrent [][]Session) int {
+	type ev struct {
+		at    time.Time
+		delta int
+	}
+	var evs []ev
+	for _, ss := range perTorrent {
+		for _, s := range ss {
+			if s.End.After(s.Start) {
+				evs = append(evs, ev{s.Start, +1}, ev{s.End, -1})
+			}
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if !evs[i].at.Equal(evs[j].at) {
+			return evs[i].at.Before(evs[j].at)
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	peak, cur := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// AvgParallel computes the time-averaged number of simultaneously seeded
+// torrents over the union of the publisher's online time. Returns 0 when
+// the publisher was never seen.
+func AvgParallel(perTorrent [][]Session) float64 {
+	var all []Session
+	var weighted float64 // integral of count over time, in hours
+	for _, ss := range perTorrent {
+		for _, s := range ss {
+			if s.End.After(s.Start) {
+				all = append(all, s)
+				weighted += s.Duration().Hours()
+			}
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	union := TotalDuration(Merge(all)).Hours()
+	if union == 0 {
+		return 0
+	}
+	return weighted / union
+}
+
+// Merge unions overlapping sessions into a disjoint, sorted set. Used for
+// the aggregated session time of Figure 4(c).
+func Merge(ss []Session) []Session {
+	if len(ss) == 0 {
+		return nil
+	}
+	cp := append([]Session(nil), ss...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Start.Before(cp[j].Start) })
+	out := []Session{cp[0]}
+	for _, s := range cp[1:] {
+		last := &out[len(out)-1]
+		if s.Start.After(last.End) {
+			out = append(out, s)
+			continue
+		}
+		if s.End.After(last.End) {
+			last.End = s.End
+		}
+	}
+	return out
+}

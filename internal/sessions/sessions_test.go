@@ -1,0 +1,307 @@
+package sessions
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+
+func at(h float64) time.Time { return t0.Add(time.Duration(h * float64(time.Hour))) }
+
+func TestDetectionProbabilityPaperNumbers(t *testing.T) {
+	// Appendix A: N=165, W=50 -> m=13 queries give P > 0.99.
+	p, err := DetectionProbability(50, 165, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0.99 {
+		t.Fatalf("P(m=13) = %v, want > 0.99", p)
+	}
+	p12, err := DetectionProbability(50, 165, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p12 >= p {
+		t.Fatal("P not increasing in m")
+	}
+}
+
+func TestQueriesForConfidencePaperNumbers(t *testing.T) {
+	m, err := QueriesForConfidence(50, 165, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 13 {
+		t.Fatalf("m = %d, want 13 (Appendix A)", m)
+	}
+}
+
+func TestPaperThresholdIsAboutFourHours(t *testing.T) {
+	th := PaperThreshold()
+	// 13 queries * 18 minutes = 3.9h, the paper rounds to 4h.
+	if th < 3*time.Hour+30*time.Minute || th > 4*time.Hour+30*time.Minute {
+		t.Fatalf("threshold = %v, want ~4h", th)
+	}
+}
+
+func TestDetectionProbabilityEdgeCases(t *testing.T) {
+	if _, err := DetectionProbability(0, 10, 1); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+	if _, err := DetectionProbability(10, 0, 1); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := DetectionProbability(10, 10, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	p, err := DetectionProbability(200, 100, 1)
+	if err != nil || p != 1 {
+		t.Fatalf("W>=N should be certain, got %v %v", p, err)
+	}
+}
+
+func TestQueriesForConfidenceEdgeCases(t *testing.T) {
+	if _, err := QueriesForConfidence(50, 165, 0); err == nil {
+		t.Fatal("confidence 0 accepted")
+	}
+	if _, err := QueriesForConfidence(50, 165, 1); err == nil {
+		t.Fatal("confidence 1 accepted")
+	}
+	m, err := QueriesForConfidence(100, 50, 0.999)
+	if err != nil || m != 1 {
+		t.Fatalf("W>=N should need 1 query, got %d %v", m, err)
+	}
+}
+
+// Property: P = 1-(1-W/N)^m is monotone in all three arguments.
+func TestDetectionMonotoneProperty(t *testing.T) {
+	f := func(w8, n8, m8 uint8) bool {
+		w := int(w8%100) + 1
+		n := w + int(n8%200) + 1
+		m := int(m8%30) + 1
+		p1, err1 := DetectionProbability(w, n, m)
+		p2, err2 := DetectionProbability(w, n, m+1)
+		p3, err3 := DetectionProbability(w+1, n, m)
+		p4, err4 := DetectionProbability(w, n+1, m)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		return p2 >= p1 && p3 >= p1 && p4 <= p1 && p1 > 0 && p1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: QueriesForConfidence inverts DetectionProbability.
+func TestQueriesInversionProperty(t *testing.T) {
+	f := func(w8, n8 uint8) bool {
+		w := int(w8%100) + 1
+		n := w + int(n8%200) + 2
+		m, err := QueriesForConfidence(w, n, 0.99)
+		if err != nil {
+			return false
+		}
+		pm, _ := DetectionProbability(w, n, m)
+		if pm < 0.99 {
+			return false
+		}
+		if m > 1 {
+			pPrev, _ := DetectionProbability(w, n, m-1)
+			if pPrev >= 0.99 {
+				return false // m not minimal
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStitchSingleSession(t *testing.T) {
+	e := Estimator{Gap: 4 * time.Hour}
+	ss := e.Stitch([]time.Time{at(0), at(0.3), at(1), at(2.5)})
+	if len(ss) != 1 {
+		t.Fatalf("sessions = %d, want 1", len(ss))
+	}
+	if !ss[0].Start.Equal(at(0)) || !ss[0].End.Equal(at(2.5)) {
+		t.Fatalf("session = %+v", ss[0])
+	}
+}
+
+func TestStitchSplitsOnGap(t *testing.T) {
+	e := Estimator{Gap: 4 * time.Hour}
+	ss := e.Stitch([]time.Time{at(0), at(1), at(9), at(10)})
+	if len(ss) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(ss))
+	}
+	if ss[0].Duration() != time.Hour || ss[1].Duration() != time.Hour {
+		t.Fatalf("durations = %v, %v", ss[0].Duration(), ss[1].Duration())
+	}
+}
+
+func TestStitchBoundaryGap(t *testing.T) {
+	e := Estimator{Gap: 4 * time.Hour}
+	// Exactly 4h apart: same session (gap must EXCEED threshold).
+	ss := e.Stitch([]time.Time{at(0), at(4)})
+	if len(ss) != 1 {
+		t.Fatalf("4h gap split: %d sessions", len(ss))
+	}
+	ss = e.Stitch([]time.Time{at(0), at(4.01)})
+	if len(ss) != 2 {
+		t.Fatalf("4.01h gap not split: %d sessions", len(ss))
+	}
+}
+
+func TestStitchUnsortedInput(t *testing.T) {
+	e := Estimator{Gap: 4 * time.Hour}
+	ss := e.Stitch([]time.Time{at(10), at(0), at(1), at(9)})
+	if len(ss) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(ss))
+	}
+}
+
+func TestStitchEmpty(t *testing.T) {
+	e := Estimator{Gap: time.Hour}
+	if ss := e.Stitch(nil); ss != nil {
+		t.Fatalf("empty stitch = %v", ss)
+	}
+}
+
+func TestStitchMinSessionPadding(t *testing.T) {
+	e := Estimator{Gap: 4 * time.Hour, MinSession: 15 * time.Minute}
+	ss := e.Stitch([]time.Time{at(0)})
+	if len(ss) != 1 || ss[0].Duration() != 15*time.Minute {
+		t.Fatalf("padded session = %+v", ss)
+	}
+}
+
+func TestStitchDefaultGapIsPaperThreshold(t *testing.T) {
+	e := Estimator{} // zero gap -> paper threshold (~3.9h)
+	ss := e.Stitch([]time.Time{at(0), at(3.8)})
+	if len(ss) != 1 {
+		t.Fatalf("3.8h gap split with default threshold: %d", len(ss))
+	}
+	ss = e.Stitch([]time.Time{at(0), at(5)})
+	if len(ss) != 2 {
+		t.Fatalf("5h gap not split with default threshold: %d", len(ss))
+	}
+}
+
+func TestTotalDurationAndOverlap(t *testing.T) {
+	ss := []Session{
+		{at(0), at(2)},
+		{at(10), at(11)},
+	}
+	if d := TotalDuration(ss); d != 3*time.Hour {
+		t.Fatalf("total = %v", d)
+	}
+	if d := Overlap(ss, at(1), at(10.5)); d != 90*time.Minute {
+		t.Fatalf("overlap = %v, want 1.5h", d)
+	}
+	if d := Overlap(ss, at(3), at(9)); d != 0 {
+		t.Fatalf("disjoint overlap = %v", d)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	ss := []Session{
+		{at(5), at(7)},
+		{at(0), at(2)},
+		{at(1), at(3)},
+		{at(6.5), at(6.8)},
+	}
+	merged := Merge(ss)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if !merged[0].Start.Equal(at(0)) || !merged[0].End.Equal(at(3)) {
+		t.Fatalf("merged[0] = %+v", merged[0])
+	}
+	if TotalDuration(merged) != 5*time.Hour {
+		t.Fatalf("merged total = %v", TotalDuration(merged))
+	}
+	if Merge(nil) != nil {
+		t.Fatal("empty merge")
+	}
+}
+
+// Property: Merge yields disjoint sorted sessions covering the same span.
+func TestMergeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var ss []Session
+		for i := 0; i+1 < len(raw); i += 2 {
+			start := float64(raw[i] % 100)
+			dur := float64(raw[i+1]%20) + 0.1
+			ss = append(ss, Session{at(start), at(start + dur)})
+		}
+		merged := Merge(ss)
+		for i := 1; i < len(merged); i++ {
+			if !merged[i].Start.After(merged[i-1].End) {
+				return false
+			}
+		}
+		return TotalDuration(merged) <= TotalDuration(ss)+time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxParallelAndAvgParallel(t *testing.T) {
+	perTorrent := [][]Session{
+		{{at(0), at(10)}},
+		{{at(2), at(6)}},
+		{{at(4), at(5)}},
+	}
+	if got := MaxParallel(perTorrent); got != 3 {
+		t.Fatalf("max parallel = %d, want 3", got)
+	}
+	// Union = 10h; integral = 10+4+1 = 15h -> avg 1.5.
+	if got := AvgParallel(perTorrent); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("avg parallel = %v, want 1.5", got)
+	}
+	if MaxParallel(nil) != 0 || AvgParallel(nil) != 0 {
+		t.Fatal("empty parallel stats != 0")
+	}
+}
+
+func TestSessionEstimationRecoversGroundTruth(t *testing.T) {
+	// A publisher seeds 0h-20h, offline 20h-30h, seeds 30h-50h.
+	// The crawler sights it with 18-min queries and a 1/3 miss rate.
+	truth := []Session{{at(0), at(20)}, {at(30), at(50)}}
+	var sightings []time.Time
+	miss := 0
+	for q := 0.0; q < 50; q += 0.3 {
+		inside := false
+		for _, s := range truth {
+			if !at(q).Before(s.Start) && at(q).Before(s.End) {
+				inside = true
+			}
+		}
+		if !inside {
+			continue
+		}
+		miss++
+		if miss%3 == 0 {
+			continue // simulated sampling miss
+		}
+		sightings = append(sightings, at(q))
+	}
+	e := Estimator{Gap: 4 * time.Hour}
+	got := e.Stitch(sightings)
+	if len(got) != 2 {
+		t.Fatalf("recovered %d sessions, want 2", len(got))
+	}
+	tol := time.Hour
+	for i, s := range got {
+		if s.Start.Sub(truth[i].Start) > tol || truth[i].End.Sub(s.End) > tol {
+			t.Fatalf("session %d = %v..%v, truth %v..%v",
+				i, s.Start, s.End, truth[i].Start, truth[i].End)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package stats provides the descriptive statistics and plain-text
+// rendering used to regenerate the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear interpolation
+// between order statistics. Input need not be sorted. Empty input yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[len(cp)-1]
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// FiveNum is a box-plot summary.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// Summarize computes the five-number summary.
+func Summarize(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		return FiveNum{}
+	}
+	return FiveNum{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+		N:      len(xs),
+	}
+}
+
+// MinMeanMax is the summary form Table 4 uses.
+type MinMeanMax struct {
+	Min, Mean, Max float64
+	N              int
+}
+
+// SummarizeMinMeanMax computes min/mean/max.
+func SummarizeMinMeanMax(xs []float64) MinMeanMax {
+	if len(xs) == 0 {
+		return MinMeanMax{}
+	}
+	out := MinMeanMax{Min: xs[0], Max: xs[0], N: len(xs)}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+		if x < out.Min {
+			out.Min = x
+		}
+		if x > out.Max {
+			out.Max = x
+		}
+	}
+	out.Mean = s / float64(len(xs))
+	return out
+}
+
+// MinMedianMeanMax is the summary form Table 5 uses.
+type MinMedianMeanMax struct {
+	Min, Median, Mean, Max float64
+	N                      int
+}
+
+// SummarizeMinMedianMeanMax computes min/median/mean/max.
+func SummarizeMinMedianMeanMax(xs []float64) MinMedianMeanMax {
+	if len(xs) == 0 {
+		return MinMedianMeanMax{}
+	}
+	return MinMedianMeanMax{
+		Min:    Quantile(xs, 0),
+		Median: Median(xs),
+		Mean:   Mean(xs),
+		Max:    Quantile(xs, 1),
+		N:      len(xs),
+	}
+}
+
+// ShareCurve computes Figure 1's curve: after sorting contributions in
+// descending order, point i reports (percent of contributors up to i,
+// percent of total contribution they account for). Curve includes (0,0).
+type SharePoint struct {
+	PctContributors float64
+	PctContribution float64
+}
+
+// ShareCurve builds the cumulative contribution curve from per-contributor
+// counts.
+func ShareCurve(contrib []float64) []SharePoint {
+	cp := append([]float64(nil), contrib...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	total := 0.0
+	for _, c := range cp {
+		total += c
+	}
+	out := make([]SharePoint, 0, len(cp)+1)
+	out = append(out, SharePoint{0, 0})
+	if total == 0 {
+		return out
+	}
+	acc := 0.0
+	for i, c := range cp {
+		acc += c
+		out = append(out, SharePoint{
+			PctContributors: 100 * float64(i+1) / float64(len(cp)),
+			PctContribution: 100 * acc / total,
+		})
+	}
+	return out
+}
+
+// ShareAt interpolates the contribution share of the top pct% contributors
+// on a ShareCurve.
+func ShareAt(curve []SharePoint, pct float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].PctContributors >= pct {
+			a, b := curve[i-1], curve[i]
+			if b.PctContributors == a.PctContributors {
+				return b.PctContribution
+			}
+			f := (pct - a.PctContributors) / (b.PctContributors - a.PctContributors)
+			return a.PctContribution + f*(b.PctContribution-a.PctContribution)
+		}
+	}
+	return curve[len(curve)-1].PctContribution
+}
+
+// Gini computes the Gini coefficient of the contribution distribution
+// (0 = perfectly equal, →1 = fully concentrated).
+func Gini(contrib []float64) float64 {
+	n := len(contrib)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), contrib...)
+	sort.Float64s(cp)
+	var cum, totalCum float64
+	for _, c := range cp {
+		cum += c
+		totalCum += cum
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (float64(n) + 1 - 2*totalCum/cum) / float64(n)
+}
+
+// ---------------------------------------------------------------------
+// Plain-text rendering
+// ---------------------------------------------------------------------
+
+// Table renders an aligned text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row (values are Sprint'ed).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+			continue
+		case string:
+			row[i] = v
+			continue
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render produces the aligned text form.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// RenderCurve draws an ASCII line chart of y(x) points (e.g. Figure 1).
+func RenderCurve(title, xlabel, ylabel string, pts []SharePoint, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		x := int(p.PctContributors / 100 * float64(width-1))
+		y := int(p.PctContribution / 100 * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			continue
+		}
+		grid[height-1-y][x] = '*'
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	b.WriteString(ylabel)
+	b.WriteByte('\n')
+	for i, row := range grid {
+		pct := 100 * (height - 1 - i) / (height - 1)
+		fmt.Fprintf(&b, "%3d%% |%s|\n", pct, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      0%%%s100%%  %s\n", strings.Repeat(" ", width-8), xlabel)
+	return b.String()
+}
+
+// RenderBoxes draws horizontal log-scale box plots, one per labelled group
+// (e.g. Figure 3: groups All/Fake/Top/Top-HP/Top-CI).
+func RenderBoxes(title, unit string, groups []string, sums map[string]FiveNum, width int) string {
+	if width < 40 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, g := range groups {
+		s, ok := sums[g]
+		if !ok || s.N == 0 {
+			continue
+		}
+		if v := math.Max(s.Min, 1e-3); v < lo {
+			lo = v
+		}
+		if s.Max > hi {
+			hi = s.Max
+		}
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		return title + "\n(no data)\n"
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	pos := func(v float64) int {
+		if v < lo {
+			v = lo
+		}
+		p := (math.Log10(v) - logLo) / (logHi - logLo)
+		x := int(p * float64(width-1))
+		if x < 0 {
+			x = 0
+		}
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	labW := 0
+	for _, g := range groups {
+		if len(g) > labW {
+			labW = len(g)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for _, g := range groups {
+		s, ok := sums[g]
+		if !ok || s.N == 0 {
+			fmt.Fprintf(&b, "%-*s | (no data)\n", labW, g)
+			continue
+		}
+		row := []byte(strings.Repeat(" ", width))
+		for x := pos(s.Q1); x <= pos(s.Q3); x++ {
+			row[x] = '='
+		}
+		row[pos(s.Min)] = '|'
+		row[pos(s.Max)] = '|'
+		row[pos(s.Median)] = 'M'
+		fmt.Fprintf(&b, "%-*s |%s| q1=%.1f med=%.1f q3=%.1f n=%d\n",
+			labW, g, string(row), s.Q1, s.Median, s.Q3, s.N)
+	}
+	fmt.Fprintf(&b, "%-*s  log scale: %.2g .. %.2g %s\n", labW, "", lo, hi, unit)
+	return b.String()
+}

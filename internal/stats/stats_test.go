@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanAndMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := Mean(xs); got != 22 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Fatalf("q50 = %v, want 25", got)
+	}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 40 {
+		t.Fatalf("q100 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 17.5 {
+		t.Fatalf("q25 = %v, want 17.5", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("input mutated")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := Quantile(raw, qa), Quantile(raw, qb)
+		lo, hi := Quantile(raw, 0), Quantile(raw, 1)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Median != 3 || s.Max != 5 || s.N != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %v/%v", s.Q1, s.Q3)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestSummarizeMinMeanMax(t *testing.T) {
+	s := SummarizeMinMeanMax([]float64{2, 4, 9})
+	if s.Min != 2 || s.Max != 9 || s.Mean != 5 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeMinMedianMeanMax(t *testing.T) {
+	s := SummarizeMinMedianMeanMax([]float64{1, 10, 100})
+	if s.Min != 1 || s.Median != 10 || s.Max != 100 || s.Mean != 37 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestShareCurveSkewed(t *testing.T) {
+	// One publisher with 90 torrents, nine with 1 torrent.
+	contrib := []float64{90, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	curve := ShareCurve(contrib)
+	// Top 10% (the big one) should hold ~91% of the contribution.
+	if got := ShareAt(curve, 10); math.Abs(got-90.9) > 1 {
+		t.Fatalf("ShareAt(10%%) = %v, want ~90.9", got)
+	}
+	if got := ShareAt(curve, 100); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("ShareAt(100%%) = %v", got)
+	}
+	if got := ShareAt(curve, 0); got != 0 {
+		t.Fatalf("ShareAt(0%%) = %v", got)
+	}
+}
+
+func TestShareCurveUniform(t *testing.T) {
+	contrib := []float64{1, 1, 1, 1}
+	curve := ShareCurve(contrib)
+	if got := ShareAt(curve, 50); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("uniform ShareAt(50%%) = %v", got)
+	}
+}
+
+// Property: share curve is monotone and ends at 100%.
+func TestShareCurveMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		contrib := make([]float64, len(raw))
+		total := 0.0
+		for i, v := range raw {
+			contrib[i] = float64(v)
+			total += contrib[i]
+		}
+		if total == 0 {
+			return true
+		}
+		curve := ShareCurve(contrib)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].PctContribution < curve[i-1].PctContribution-1e-9 {
+				return false
+			}
+		}
+		last := curve[len(curve)-1]
+		return math.Abs(last.PctContribution-100) < 1e-6 && math.Abs(last.PctContributors-100) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-9 {
+		t.Fatalf("uniform gini = %v", g)
+	}
+	g := Gini([]float64{0, 0, 0, 100})
+	if g < 0.7 {
+		t.Fatalf("concentrated gini = %v, want high", g)
+	}
+	if Gini(nil) != 0 {
+		t.Fatal("empty gini != 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "Table X: test",
+		Columns: []string{"ISP", "Type", "%"},
+	}
+	tb.AddRow("OVH", "Hosting Provider", 15.16)
+	tb.AddRow("Comcast", "Commercial ISP", 2.86)
+	out := tb.Render()
+	if !strings.Contains(out, "Table X: test") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "OVH") || !strings.Contains(lines[3], "15.16") {
+		t.Fatalf("row content: %q", lines[3])
+	}
+	// Columns align: "Type" column starts at the same offset everywhere.
+	hdrIdx := strings.Index(lines[1], "Type")
+	rowIdx := strings.Index(lines[3], "Hosting")
+	if hdrIdx != rowIdx {
+		t.Fatalf("misaligned columns: %d vs %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestRenderCurveContainsShape(t *testing.T) {
+	contrib := make([]float64, 100)
+	for i := range contrib {
+		contrib[i] = 1
+	}
+	contrib[0] = 500
+	out := RenderCurve("Figure 1", "% publishers", "% content", ShareCurve(contrib), 40, 10)
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "*") {
+		t.Fatalf("curve rendering:\n%s", out)
+	}
+	if !strings.Contains(out, "% publishers") {
+		t.Fatal("missing x label")
+	}
+}
+
+func TestRenderBoxes(t *testing.T) {
+	sums := map[string]FiveNum{
+		"All":  Summarize([]float64{10, 20, 40, 80, 160}),
+		"Top":  Summarize([]float64{100, 200, 400, 800, 1600}),
+		"Fake": {},
+	}
+	out := RenderBoxes("Figure 3", "downloads", []string{"All", "Top", "Fake"}, sums, 50)
+	if !strings.Contains(out, "All") || !strings.Contains(out, "M") {
+		t.Fatalf("boxes:\n%s", out)
+	}
+	if !strings.Contains(out, "(no data)") {
+		t.Fatal("empty group not flagged")
+	}
+	// Median markers should be ordered: Top's M further right than All's.
+	var allLine, topLine string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "All") {
+			allLine = ln
+		}
+		if strings.HasPrefix(ln, "Top ") || strings.HasPrefix(ln, "Top|") || strings.HasPrefix(ln, "Top") && !strings.HasPrefix(ln, "TopX") {
+			if !strings.HasPrefix(ln, "All") && topLine == "" && strings.Contains(ln, "med=") && strings.Contains(ln, "Top") {
+				topLine = ln
+			}
+		}
+	}
+	if allLine == "" || topLine == "" {
+		t.Fatalf("missing group lines:\n%s", out)
+	}
+	if strings.Index(allLine, "M") >= strings.Index(topLine, "M") {
+		t.Fatalf("log-scale ordering broken:\nall: %s\ntop: %s", allLine, topLine)
+	}
+}
+
+func TestRenderBoxesNoData(t *testing.T) {
+	out := RenderBoxes("t", "u", []string{"A"}, map[string]FiveNum{}, 50)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestShareCurveSortedDescending(t *testing.T) {
+	curve := ShareCurve([]float64{1, 5, 3})
+	// First contributor on the curve must be the largest (5/9).
+	if math.Abs(curve[1].PctContribution-100*5.0/9.0) > 1e-9 {
+		t.Fatalf("first point = %+v", curve[1])
+	}
+	if !sort.SliceIsSorted(curve, func(i, j int) bool {
+		return curve[i].PctContributors < curve[j].PctContributors
+	}) {
+		t.Fatal("curve x not sorted")
+	}
+}

@@ -1,0 +1,144 @@
+// Package webmon simulates the web-site monitoring services the paper uses
+// to estimate the value, daily income and daily visits of the sites that
+// profit-driven publishers promote (Table 5): sitelogr, cwire,
+// websiteoutlook, sitevaluecalculator, mywebsiteworth, yourwebsitevalue.
+//
+// Each monitor reports a noisy estimate of the ground truth; the paper
+// averages the six estimates per site, which is reproduced by Average.
+// The package also plays the role of "a human visiting the promoted URL":
+// Inspect reports what kind of business the site runs, which the
+// classifier needs for Section 5.1.
+package webmon
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"btpub/internal/population"
+	"btpub/internal/rng"
+)
+
+// MonitorNames lists the six estimation services the paper queried.
+var MonitorNames = []string{
+	"sitelogr", "cwire", "websiteoutlook",
+	"sitevaluecalculator", "mywebsiteworth", "yourwebsitevalue",
+}
+
+// Estimate is one monitor's report for one site.
+type Estimate struct {
+	Monitor        string
+	ValueUSD       float64
+	DailyIncomeUSD float64
+	DailyVisits    float64
+}
+
+// Directory resolves promoted URLs to site ground truth, and answers the
+// monitors' queries.
+type Directory struct {
+	sites map[string]*population.Site
+	seed  uint64
+}
+
+// NewDirectory indexes the world's promoted sites.
+func NewDirectory(world *population.World, seed uint64) (*Directory, error) {
+	if world == nil {
+		return nil, errors.New("webmon: nil world")
+	}
+	d := &Directory{sites: map[string]*population.Site{}, seed: seed}
+	for _, pub := range world.Publishers {
+		if pub.Site != nil {
+			d.sites[normalizeURL(pub.Site.URL)] = pub.Site
+		}
+	}
+	return d, nil
+}
+
+// normalizeURL strips scheme and trailing slashes so extracted URLs match
+// directory keys.
+func normalizeURL(u string) string {
+	u = strings.TrimSpace(strings.ToLower(u))
+	u = strings.TrimPrefix(u, "http://")
+	u = strings.TrimPrefix(u, "https://")
+	return strings.TrimSuffix(u, "/")
+}
+
+// ErrUnknownSite is returned for URLs no monitor tracks.
+var ErrUnknownSite = errors.New("webmon: unknown site")
+
+// Inspect visits the site and reports its business profile and language,
+// standing in for the paper's manual examination of each promoting URL.
+func (d *Directory) Inspect(url string) (population.BusinessType, string, error) {
+	s, ok := d.sites[normalizeURL(url)]
+	if !ok {
+		return population.BusinessNone, "", ErrUnknownSite
+	}
+	return s.Business, s.Language, nil
+}
+
+// Estimates queries all six monitors for one site. Every monitor applies
+// its own deterministic multiplicative bias and per-site noise, so the six
+// reports disagree the way the real services did.
+func (d *Directory) Estimates(url string) ([]Estimate, error) {
+	s, ok := d.sites[normalizeURL(url)]
+	if !ok {
+		return nil, ErrUnknownSite
+	}
+	out := make([]Estimate, 0, len(MonitorNames))
+	for i, name := range MonitorNames {
+		// Bias: each service has a house methodology (0.6x..1.5x).
+		bias := 0.6 + 0.15*float64(i)
+		noise := rng.New(d.seed, "webmon|"+name+"|"+normalizeURL(url))
+		jitter := func() float64 { return noise.LogNormalMedian(1, 0.25) }
+		out = append(out, Estimate{
+			Monitor:        name,
+			ValueUSD:       s.ValueUSD * bias * jitter(),
+			DailyIncomeUSD: s.DailyIncomeUSD * bias * jitter(),
+			DailyVisits:    s.DailyVisits * bias * jitter(),
+		})
+	}
+	return out, nil
+}
+
+// Averaged is the six-monitor mean the paper reports per site.
+type Averaged struct {
+	URL            string
+	ValueUSD       float64
+	DailyIncomeUSD float64
+	DailyVisits    float64
+	Monitors       int
+}
+
+// Average queries the monitors and averages their estimates.
+func (d *Directory) Average(url string) (Averaged, error) {
+	ests, err := d.Estimates(url)
+	if err != nil {
+		return Averaged{}, err
+	}
+	avg := Averaged{URL: normalizeURL(url), Monitors: len(ests)}
+	for _, e := range ests {
+		avg.ValueUSD += e.ValueUSD
+		avg.DailyIncomeUSD += e.DailyIncomeUSD
+		avg.DailyVisits += e.DailyVisits
+	}
+	n := float64(len(ests))
+	avg.ValueUSD /= n
+	avg.DailyIncomeUSD /= n
+	avg.DailyVisits /= n
+	return avg, nil
+}
+
+// Sites lists all tracked site URLs (normalized).
+func (d *Directory) Sites() []string {
+	out := make([]string, 0, len(d.sites))
+	for u := range d.sites {
+		out = append(out, u)
+	}
+	return out
+}
+
+// String implements fmt.Stringer for Averaged.
+func (a Averaged) String() string {
+	return fmt.Sprintf("%s: value $%.0f, income $%.0f/day, %.0f visits/day",
+		a.URL, a.ValueUSD, a.DailyIncomeUSD, a.DailyVisits)
+}

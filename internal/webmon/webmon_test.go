@@ -1,0 +1,148 @@
+package webmon
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"btpub/internal/geoip"
+	"btpub/internal/population"
+)
+
+func buildWorld(t *testing.T) *population.World {
+	t.Helper()
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := population.Generate(population.DefaultParams(0.1), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func firstSite(t *testing.T, w *population.World) *population.Site {
+	t.Helper()
+	for _, p := range w.Publishers {
+		if p.Site != nil {
+			return p.Site
+		}
+	}
+	t.Fatal("no sites in world")
+	return nil
+}
+
+func TestDirectoryInspect(t *testing.T) {
+	w := buildWorld(t)
+	d, err := NewDirectory(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := firstSite(t, w)
+	biz, lang, err := d.Inspect(s.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biz != s.Business || lang != s.Language {
+		t.Fatalf("inspect = (%v, %q), want (%v, %q)", biz, lang, s.Business, s.Language)
+	}
+	// Scheme and case insensitivity.
+	if _, _, err := d.Inspect("HTTP://" + s.URL + "/"); err != nil {
+		t.Fatalf("normalized inspect failed: %v", err)
+	}
+	if _, _, err := d.Inspect("www.definitely-not-a-site.com"); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("unknown site: %v", err)
+	}
+}
+
+func TestEstimatesSixMonitorsDisagreeButTrack(t *testing.T) {
+	w := buildWorld(t)
+	d, _ := NewDirectory(w, 1)
+	s := firstSite(t, w)
+	ests, err := d.Estimates(s.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 6 {
+		t.Fatalf("monitors = %d", len(ests))
+	}
+	distinct := map[float64]bool{}
+	for _, e := range ests {
+		if e.ValueUSD <= 0 || e.DailyIncomeUSD <= 0 || e.DailyVisits <= 0 {
+			t.Fatalf("non-positive estimate: %+v", e)
+		}
+		// Every estimate within a sane band of truth (0.2x..5x).
+		r := e.ValueUSD / s.ValueUSD
+		if r < 0.2 || r > 5 {
+			t.Fatalf("monitor %s wildly off: ratio %.2f", e.Monitor, r)
+		}
+		distinct[e.ValueUSD] = true
+	}
+	if len(distinct) < 4 {
+		t.Fatal("monitors suspiciously agree")
+	}
+}
+
+func TestEstimatesDeterministic(t *testing.T) {
+	w := buildWorld(t)
+	d1, _ := NewDirectory(w, 7)
+	d2, _ := NewDirectory(w, 7)
+	s := firstSite(t, w)
+	a, err := d1.Average(s.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d2.Average(s.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("averages differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestAverageNearTruth(t *testing.T) {
+	w := buildWorld(t)
+	d, _ := NewDirectory(w, 3)
+	s := firstSite(t, w)
+	av, err := d.Average(s.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean bias of the six monitors is ~1.0x, so the average should land
+	// within a factor ~1.6 of truth.
+	for _, pair := range [][2]float64{
+		{av.ValueUSD, s.ValueUSD},
+		{av.DailyIncomeUSD, s.DailyIncomeUSD},
+		{av.DailyVisits, s.DailyVisits},
+	} {
+		r := pair[0] / pair[1]
+		if math.Abs(math.Log(r)) > math.Log(1.8) {
+			t.Fatalf("average off by %.2fx", r)
+		}
+	}
+	if av.Monitors != 6 {
+		t.Fatalf("monitors = %d", av.Monitors)
+	}
+}
+
+func TestSitesEnumerated(t *testing.T) {
+	w := buildWorld(t)
+	d, _ := NewDirectory(w, 1)
+	want := 0
+	for _, p := range w.Publishers {
+		if p.Site != nil {
+			want++
+		}
+	}
+	if got := len(d.Sites()); got != want {
+		t.Fatalf("sites = %d, want %d", got, want)
+	}
+}
+
+func TestNewDirectoryNilWorld(t *testing.T) {
+	if _, err := NewDirectory(nil, 1); err == nil {
+		t.Fatal("nil world accepted")
+	}
+}
