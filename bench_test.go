@@ -5,6 +5,7 @@
 package btpub
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -237,6 +238,35 @@ func BenchmarkAppendixAEstimator(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Campaign engine: serial baseline vs sharded parallel run
+// ---------------------------------------------------------------------
+
+func benchCampaign(b *testing.B, shards, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(campaign.Spec{
+			Scale: 0.1, MeanDownloads: 200, Seed: 11,
+			Shards: shards, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dataset.Torrents) == 0 || len(res.Dataset.Observations) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// BenchmarkCampaignSerial is the single-goroutine baseline: one shard, one
+// announce worker — the engine the repo had before sharding.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1, 1) }
+
+// BenchmarkCampaignParallel shards the same campaign across every core.
+// The merged dataset is byte-identical to the serial baseline's (the
+// campaign determinism test enforces this), so the speedup is free.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.NumCPU(), 2) }
 
 // ---------------------------------------------------------------------
 // Substrate micro-benchmarks

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"log"
+	"runtime"
 
 	"btpub/internal/campaign"
 )
@@ -15,32 +16,30 @@ func main() {
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	md := flag.Float64("mean-downloads", 250, "mean downloader arrivals per torrent")
 	style := flag.String("style", "pb10", "dataset style: pb10, pb09 or mn08")
+	shards := flag.Int("shards", runtime.NumCPU(), "parallel world shards")
+	workers := flag.Int("workers", 2, "announce workers per crawler vantage")
 	out := flag.String("out", "", "output dataset path (default <style>.jsonl)")
 	flag.Parse()
 
-	var st campaign.Style
-	switch *style {
-	case "pb10":
-		st = campaign.PB10
-	case "pb09":
-		st = campaign.PB09
-	case "mn08":
-		st = campaign.MN08
-	default:
-		log.Fatalf("unknown style %q", *style)
+	st, err := campaign.ParseStyle(*style)
+	if err != nil {
+		log.Fatal(err)
 	}
 	path := *out
 	if path == "" {
 		path = *style + ".jsonl"
 	}
-	res, err := campaign.Run(campaign.Spec{Scale: *scale, Seed: *seed, MeanDownloads: *md, Style: st})
+	res, err := campaign.Run(campaign.Spec{
+		Scale: *scale, Seed: *seed, MeanDownloads: *md, Style: st,
+		Shards: *shards, Workers: *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := res.Dataset.Save(path); err != nil {
 		log.Fatal(err)
 	}
-	stats := res.Crawler.Stats()
+	stats := res.Stats()
 	log.Printf("%s: %d torrents (%d with IP), %d observations, %d distinct IPs, %d queries -> %s",
 		*style, stats.TorrentsSeen, res.Dataset.TorrentsWithIP(),
 		len(res.Dataset.Observations), res.Dataset.DistinctIPs(), stats.TrackerQueries, path)

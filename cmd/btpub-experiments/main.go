@@ -1,6 +1,9 @@
 // btpub-experiments regenerates every table and figure of the paper from
 // an end-to-end simulated campaign and writes the paper-vs-measured
-// comparison to EXPERIMENTS.md (and stdout).
+// comparison to EXPERIMENTS.md (and stdout). With -sweep it fans a grid of
+// scenarios (style × seed) out over the sharded campaign engine under one
+// shared worker budget, the way the follow-up studies re-ran the
+// measurement across portals and months.
 package main
 
 import (
@@ -8,6 +11,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"btpub/internal/campaign"
 	"btpub/internal/report"
@@ -17,29 +23,104 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "world scale (1.0 = full pb10)")
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	md := flag.Float64("mean-downloads", 350, "mean downloader arrivals per torrent")
+	shards := flag.Int("shards", runtime.NumCPU(), "parallel world shards per campaign")
+	workers := flag.Int("workers", 2, "announce workers per crawler vantage")
+	sweep := flag.String("sweep", "", "comma-separated styles to sweep (e.g. pb10,pb09,mn08); empty = single pb10 run")
+	seeds := flag.String("seeds", "", "comma-separated seeds for the sweep grid (default: -seed)")
+	budget := flag.Int("budget", runtime.NumCPU(), "shared worker budget across all sweep campaigns")
 	out := flag.String("out", "EXPERIMENTS.md", "output file (empty = stdout only)")
 	flag.Parse()
 
-	log.Printf("running pb10-style campaign: scale=%.3f seed=%d meanDownloads=%.0f", *scale, *seed, *md)
-	res, err := campaign.Run(campaign.Spec{Scale: *scale, Seed: *seed, MeanDownloads: *md})
+	if *sweep != "" {
+		runSweep(*sweep, *seeds, *scale, *seed, *md, *shards, *workers, *budget, *out)
+		return
+	}
+
+	log.Printf("running pb10-style campaign: scale=%.3f seed=%d meanDownloads=%.0f shards=%d workers=%d",
+		*scale, *seed, *md, *shards, *workers)
+	res, err := campaign.Run(campaign.Spec{
+		Scale: *scale, Seed: *seed, MeanDownloads: *md,
+		Shards: *shards, Workers: *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := res.Crawler.Stats()
-	log.Printf("campaign done in %v: %d torrents, %d tracker queries, %d observations, %d distinct IPs",
-		res.Elapsed, st.TorrentsSeen, st.TrackerQueries,
-		len(res.Dataset.Observations), res.Dataset.DistinctIPs())
+	logRun(res)
+	writeReport(res, *out)
+}
 
+func logRun(res *campaign.Result) {
+	st := res.Stats()
+	log.Printf("%s done in %v: %d torrents, %d tracker queries, %d observations, %d distinct IPs",
+		res.Dataset.Name, res.Elapsed, st.TorrentsSeen, st.TrackerQueries,
+		len(res.Dataset.Observations), res.Dataset.DistinctIPs())
+}
+
+func writeReport(res *campaign.Result, out string) {
 	rep, err := report.Run(res)
 	if err != nil {
 		log.Fatal(err)
 	}
 	body := rep.Render()
 	fmt.Println(body)
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(body), 0o644); err != nil {
+	if out != "" {
+		if err := os.WriteFile(out, []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("wrote %s", *out)
+		log.Printf("wrote %s", out)
 	}
+}
+
+// runSweep executes the style × seed grid concurrently and reports the
+// full experiment suite for the first pb10 run of the grid.
+func runSweep(sweep, seedList string, scale float64, seed uint64, md float64, shards, workers, budget int, out string) {
+	seedVals := []uint64{seed}
+	if seedList != "" {
+		seedVals = nil
+		for _, f := range strings.Split(seedList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				log.Fatalf("bad seed %q: %v", f, err)
+			}
+			seedVals = append(seedVals, v)
+		}
+	}
+	var specs []campaign.Spec
+	for _, f := range strings.Split(sweep, ",") {
+		style, err := campaign.ParseStyle(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sv := range seedVals {
+			specs = append(specs, campaign.Spec{
+				Scale: scale, Seed: sv, MeanDownloads: md, Style: style,
+				Shards: shards, Workers: workers,
+				DatasetName: fmt.Sprintf("%s-seed%d", style, sv),
+			})
+		}
+	}
+	log.Printf("sweeping %d campaigns (scale=%.3f, %d shards each, budget %d)",
+		len(specs), scale, shards, budget)
+	results := campaign.RunMany(specs, budget)
+
+	var primary *campaign.Result
+	fmt.Printf("| dataset | torrents | with IP | observations | distinct IPs | queries | wall time |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|\n")
+	for _, sr := range results {
+		if sr.Err != nil {
+			log.Fatalf("%s seed %d: %v", sr.Spec.Style, sr.Spec.Seed, sr.Err)
+		}
+		res := sr.Result
+		st := res.Stats()
+		fmt.Printf("| %s | %d | %d | %d | %d | %d | %v |\n",
+			res.Dataset.Name, len(res.Dataset.Torrents), res.Dataset.TorrentsWithIP(),
+			len(res.Dataset.Observations), res.Dataset.DistinctIPs(), st.TrackerQueries, res.Elapsed)
+		if primary == nil && sr.Spec.Style == campaign.PB10 {
+			primary = res
+		}
+	}
+	if primary == nil {
+		primary = results[0].Result
+	}
+	writeReport(primary, out)
 }

@@ -5,4 +5,39 @@
 // analysis pipeline that regenerates every table and figure. See DESIGN.md
 // for the system inventory and EXPERIMENTS.md for paper-vs-measured
 // results. The root package holds the benchmark harness (bench_test.go).
+//
+// # Parallel sharded campaign engine
+//
+// The paper crawled ~55k torrents by polling trackers from hundreds of
+// vantage machines at once. The campaign engine reproduces that
+// parallelism on two axes:
+//
+//   - World shards (campaign.Spec.Shards): publishers are partitioned by
+//     ID into N shards, and each shard runs a complete portal + tracker +
+//     swarms + crawler pipeline on its own goroutine behind its own sim
+//     clock. Every random stream is derived purely from (Seed, torrent
+//     ID) — never from shared stream state consumed in event order — and
+//     the per-shard datasets are merged by dataset.Merge into one
+//     canonically ordered dataset. The output is therefore byte-identical
+//     for any shard count and any GOMAXPROCS at a fixed Seed; the
+//     campaign package's determinism test enforces this for all three
+//     dataset styles (pb10/pb09/mn08).
+//
+//   - Announce workers (campaign.Spec.Workers / crawler.Config.Workers):
+//     inside each crawler, every vantage owns a queue drained by a
+//     bounded pool of workers, mirroring the paper's independent crawling
+//     machines. Under the sim driver each query completes before the
+//     clock proceeds (determinism); under real-time drivers the pool
+//     bounds concurrent tracker and wire traffic, with context
+//     cancellation on Close.
+//
+// campaign.RunMany executes a whole grid of Specs (style × scale × seed)
+// concurrently under one shared worker budget — the multi-campaign
+// fan-out the follow-up studies (TorrentGuard, the multimedia-evolution
+// study) needed.
+//
+// The tier-1 gate is `go build ./... && go test ./...`; CI additionally
+// runs `go vet`, gofmt, the race detector, and a 1x smoke pass of
+// BenchmarkCampaignSerial/BenchmarkCampaignParallel so perf regressions
+// fail loudly. See README.md for the shard/worker knobs on each binary.
 package btpub

@@ -1,0 +1,3 @@
+module btpub
+
+go 1.24

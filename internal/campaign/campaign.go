@@ -2,12 +2,24 @@
 // reproducible measurement run. It is the entry point used by the
 // experiment harness, the benchmarks and the examples to regenerate the
 // paper's datasets end to end.
+//
+// # Sharded execution
+//
+// A campaign can split its world into N shards, each running a complete
+// ecosystem+crawler pipeline on its own goroutine — the parallel analogue
+// of the paper's hundreds of simultaneous vantage machines. Publishers are
+// assigned to shards by ID, every per-torrent random stream is derived
+// purely from (Seed, torrent ID), and the per-shard datasets are merged
+// into one canonically ordered dataset, so the output is byte-identical
+// for any shard count (and any GOMAXPROCS) at a fixed Seed.
 package campaign
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"btpub/internal/crawler"
@@ -46,6 +58,20 @@ func (s Style) String() string {
 	}
 }
 
+// ParseStyle maps a dataset style name ("pb10", "pb09", "mn08") to its
+// Style, the inverse of Style.String.
+func ParseStyle(s string) (Style, error) {
+	switch s {
+	case "pb10":
+		return PB10, nil
+	case "pb09":
+		return PB09, nil
+	case "mn08":
+		return MN08, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown style %q", s)
+}
+
 // Spec configures a campaign run.
 type Spec struct {
 	// Scale shrinks the pb10-shaped world (1.0 = full size).
@@ -63,6 +89,20 @@ type Spec struct {
 	Vantages int
 	// DatasetName overrides the Style name.
 	DatasetName string
+	// Shards splits the world into this many deterministic shards, each
+	// crawled by its own goroutine (0 or 1 = serial). The merged dataset is
+	// byte-identical for any shard count at a fixed Seed.
+	Shards int
+	// Workers sets each shard crawler's per-vantage announce worker count
+	// (0 = 1).
+	Workers int
+}
+
+// ShardRun exposes one shard's live pipeline for ground-truth access.
+type ShardRun struct {
+	Index   int
+	Eco     *ecosystem.Ecosystem
+	Crawler *crawler.Crawler
 }
 
 // Result bundles the run artefacts with full ground-truth access.
@@ -70,6 +110,12 @@ type Result struct {
 	Spec    Spec
 	Dataset *dataset.Dataset
 	World   *population.World
+	// Shards holds every shard's ecosystem and crawler. Ground truth for a
+	// torrent lives in the shard that owns its publisher.
+	Shards []ShardRun
+	// Eco and Crawler alias shard 0. In a serial run (Shards <= 1) they see
+	// the whole world; in a sharded run use Shards (ground truth) and
+	// Stats() (aggregate counters) instead.
 	Eco     *ecosystem.Ecosystem
 	Crawler *crawler.Crawler
 	DB      *geoip.DB
@@ -79,18 +125,39 @@ type Result struct {
 
 // Run executes the campaign: generate the world, stand up the ecosystem,
 // crawl it for the whole campaign window plus drain, run the final sweep,
-// and return the dataset.
+// and return the merged dataset.
 func Run(spec Spec) (*Result, error) {
+	return runBudgeted(spec, nil)
+}
+
+func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 	if spec.Scale <= 0 {
 		return nil, errors.New("campaign: Scale must be positive")
 	}
 	if spec.DrainDays == 0 {
 		spec.DrainDays = 5
 	}
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = 1
+	}
 	start := time.Now()
 
+	acquire := func() {
+		if budget != nil {
+			budget <- struct{}{}
+		}
+	}
+	release := func() {
+		if budget != nil {
+			<-budget
+		}
+	}
+
+	acquire()
 	db, err := geoip.DefaultDB()
 	if err != nil {
+		release()
 		return nil, err
 	}
 	params := population.DefaultParams(spec.Scale)
@@ -102,36 +169,86 @@ func Run(spec Spec) (*Result, error) {
 	}
 	world, err := population.Generate(params, db)
 	if err != nil {
+		release()
 		return nil, err
 	}
-
-	clock := simclock.NewSim(world.Start)
-	eco, err := ecosystem.New(ecosystem.Config{
-		World:     world,
-		DB:        db,
-		Clock:     clock,
-		Seed:      params.Seed,
-		DrainDays: spec.DrainDays + 5,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	trk, err := tracker.New(eco, clock.Now)
-	if err != nil {
-		return nil, err
-	}
+	// One consumption plan shared by every shard (it is a pure function of
+	// world and seed, so sharing it only saves work and memory).
+	consumption := ecosystem.PlanConsumption(world, params.Seed)
+	release()
+	end := world.Start.Add(time.Duration(params.CampaignDays+spec.DrainDays) * 24 * time.Hour)
 
 	name := spec.DatasetName
 	if name == "" {
 		name = spec.Style.String()
 	}
-	end := world.Start.Add(time.Duration(params.CampaignDays+spec.DrainDays) * 24 * time.Hour)
+
+	runs := make([]ShardRun, shards)
+	parts := make([]*dataset.Dataset, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			acquire()
+			defer release()
+			eco, cr, ds, err := runShard(spec, world, db, params.Seed, consumption, i, shards, end, name)
+			runs[i] = ShardRun{Index: i, Eco: eco, Crawler: cr}
+			parts[i], errs[i] = ds, err
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ds := dataset.Merge(name, parts...)
+	ds.Start = world.Start
+	ds.End = end
+	return &Result{
+		Spec:    spec,
+		Dataset: ds,
+		World:   world,
+		Shards:  runs,
+		Eco:     runs[0].Eco,
+		Crawler: runs[0].Crawler,
+		DB:      db,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// runShard stands up one shard's ecosystem, replays the campaign window on
+// the shard's private sim clock, and returns the shard dataset.
+func runShard(spec Spec, world *population.World, db *geoip.DB, seed uint64, consumption map[int][]ecosystem.ConsumptionEvent, index, count int, end time.Time, name string) (*ecosystem.Ecosystem, *crawler.Crawler, *dataset.Dataset, error) {
+	clock := simclock.NewSim(world.Start)
+	eco, err := ecosystem.New(ecosystem.Config{
+		World:       world,
+		DB:          db,
+		Clock:       clock,
+		Seed:        seed,
+		DrainDays:   spec.DrainDays + 5,
+		ShardIndex:  index,
+		ShardCount:  count,
+		Consumption: consumption,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	trk, err := tracker.New(eco, clock.Now)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
 	cfg := crawler.Config{
 		DatasetName:     name,
 		RecordUsernames: spec.Style != MN08,
 		SingleShot:      spec.Style == PB09,
 		Vantages:        spec.Vantages,
+		Workers:         spec.Workers,
 		End:             end,
 	}
 	var prober ecosystem.Prober
@@ -141,14 +258,15 @@ func Run(spec Spec) (*Result, error) {
 	cr, err := crawler.New(cfg,
 		&crawler.SimDriver{Sim: clock},
 		&crawler.InProcessPortal{P: eco.Portal},
-		&crawler.InProcessTracker{T: trk, Vantages: crawler.DefaultVantages(maxInt(cfg.Vantages, 3))},
+		&crawler.InProcessTracker{T: trk, Vantages: crawler.DefaultVantages(max(cfg.Vantages, 3))},
 		prober,
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
+	defer cr.Close()
 	if err := cr.Start(); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	// Replay the whole campaign; crawler and ecosystem share the clock.
@@ -158,26 +276,48 @@ func Run(spec Spec) (*Result, error) {
 	if err := cr.FinalSweep(context.Background(), func(rec *dataset.TorrentRecord) string {
 		return "http://portal.sim/page/" + rec.InfoHash
 	}); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-
-	ds := cr.Dataset()
-	ds.Start = world.Start
-	ds.End = end
-	return &Result{
-		Spec:    spec,
-		Dataset: ds,
-		World:   world,
-		Eco:     eco,
-		Crawler: cr,
-		DB:      db,
-		Elapsed: time.Since(start),
-	}, nil
+	return eco, cr, cr.Dataset(), nil
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// Stats aggregates crawler counters across every shard.
+func (r *Result) Stats() crawler.Counters {
+	var out crawler.Counters
+	for _, s := range r.Shards {
+		if s.Crawler != nil {
+			out = out.Add(s.Crawler.Stats())
+		}
 	}
-	return b
+	return out
+}
+
+// SweepResult pairs one grid point of a sweep with its outcome.
+type SweepResult struct {
+	Spec   Spec
+	Result *Result
+	Err    error
+}
+
+// RunMany executes a grid of campaign specs concurrently under one shared
+// worker budget: across all specs, at most budget goroutines generate
+// worlds or run shards at any moment (0 = runtime.NumCPU()). Results align
+// index-for-index with specs.
+func RunMany(specs []Spec, budget int) []SweepResult {
+	if budget <= 0 {
+		budget = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, budget)
+	out := make([]SweepResult, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec Spec) {
+			defer wg.Done()
+			res, err := runBudgeted(spec, sem)
+			out[i] = SweepResult{Spec: spec, Result: res, Err: err}
+		}(i, spec)
+	}
+	wg.Wait()
+	return out
 }

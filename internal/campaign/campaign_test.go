@@ -1,7 +1,9 @@
 package campaign
 
 import (
+	"bytes"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -274,5 +276,39 @@ func TestCrawlObservedDownloadSharesRoughlyMatchGroundTruth(t *testing.T) {
 	}
 	if math.Abs(top-0.50) > 0.18 {
 		t.Errorf("top observed share %.3f too far from 0.50", top)
+	}
+}
+
+// TestShardedRunByteIdentical is the determinism gate of the sharded
+// engine: for every style, a 4-shard run with pooled workers must
+// serialise byte-for-byte identically to the serial run at the same seed.
+func TestShardedRunByteIdentical(t *testing.T) {
+	for _, style := range []Style{PB10, PB09, MN08} {
+		t.Run(style.String(), func(t *testing.T) {
+			serial := run(t, style) // cached serial run, same Spec otherwise
+			sharded, err := Run(Spec{Scale: 0.01, MeanDownloads: 120, Style: style, Seed: 42,
+				Shards: 4, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b bytes.Buffer
+			if err := serial.Dataset.Write(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := sharded.Dataset.Write(&b); err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(a.Bytes(), b.Bytes()) {
+				return
+			}
+			al, bl := strings.Split(a.String(), "\n"), strings.Split(b.String(), "\n")
+			for i := 0; i < len(al) && i < len(bl); i++ {
+				if al[i] != bl[i] {
+					t.Fatalf("outputs differ (serial %d lines, sharded %d); first at line %d:\nserial:  %s\nsharded: %s",
+						len(al), len(bl), i+1, al[i], bl[i])
+				}
+			}
+			t.Fatalf("outputs differ in length: serial %d lines, sharded %d", len(al), len(bl))
+		})
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"btpub/internal/dataset"
@@ -82,6 +83,13 @@ type Config struct {
 	// IdentifyMaxPeers bounds swarm size for initial-seeder identification
 	// (default 20, per Section 2).
 	IdentifyMaxPeers int
+	// Workers is the number of concurrent announce workers per vantage
+	// (default 1). Queries and wire probes run on the owning vantage's
+	// workers, mirroring the paper's independent crawling machines. Under
+	// the sim driver each query still completes before the clock proceeds,
+	// so runs stay deterministic; with real-time drivers the pool bounds
+	// concurrent tracker and wire traffic.
+	Workers int
 	// SingleShot stops after the first tracker query per torrent (pb09).
 	SingleShot bool
 	// RecordUsernames toggles username capture (false for mn08).
@@ -118,6 +126,9 @@ func (c *Config) setDefaults() {
 	if c.IdentifyMaxPeers <= 0 {
 		c.IdentifyMaxPeers = 20
 	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
 	if c.DedupWindow <= 0 {
 		c.DedupWindow = 45 * time.Minute
 	}
@@ -134,6 +145,115 @@ type Counters struct {
 	MonitoringStopped int
 }
 
+// Add returns the element-wise sum of two counter snapshots (used to
+// aggregate per-shard crawlers into campaign totals).
+func (a Counters) Add(b Counters) Counters {
+	return Counters{
+		RSSPolls:          a.RSSPolls + b.RSSPolls,
+		TorrentsSeen:      a.TorrentsSeen + b.TorrentsSeen,
+		TrackerQueries:    a.TrackerQueries + b.TrackerQueries,
+		RateLimited:       a.RateLimited + b.RateLimited,
+		WireProbes:        a.WireProbes + b.WireProbes,
+		PublishersByIP:    a.PublishersByIP + b.PublishersByIP,
+		MonitoringStopped: a.MonitoringStopped + b.MonitoringStopped,
+	}
+}
+
+// counterSet is the race-safe internal form of Counters: workers on
+// different vantages bump these concurrently in network mode.
+type counterSet struct {
+	rssPolls          atomic.Int64
+	torrentsSeen      atomic.Int64
+	trackerQueries    atomic.Int64
+	rateLimited       atomic.Int64
+	wireProbes        atomic.Int64
+	publishersByIP    atomic.Int64
+	monitoringStopped atomic.Int64
+}
+
+func (c *counterSet) snapshot() Counters {
+	return Counters{
+		RSSPolls:          int(c.rssPolls.Load()),
+		TorrentsSeen:      int(c.torrentsSeen.Load()),
+		TrackerQueries:    int(c.trackerQueries.Load()),
+		RateLimited:       int(c.rateLimited.Load()),
+		WireProbes:        int(c.wireProbes.Load()),
+		PublishersByIP:    int(c.publishersByIP.Load()),
+		MonitoringStopped: int(c.monitoringStopped.Load()),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Worker pool: one queue per vantage, Workers goroutines each
+// ---------------------------------------------------------------------
+
+type poolJob struct {
+	fn   func(ctx context.Context)
+	done chan struct{}
+}
+
+// workerPool bounds concurrent announce/probe work. Each vantage owns a
+// dedicated queue drained by a fixed number of workers — the paper's
+// geographically distributed crawling machines were exactly such
+// independent per-vantage pipelines. submit blocks until the job finishes
+// (or the pool closes), which keeps the sim clock's event loop
+// deterministic; with real-time drivers, concurrent timer callbacks queue
+// behind the bounded workers.
+type workerPool struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	queues []chan poolJob
+	wg     sync.WaitGroup
+}
+
+func newWorkerPool(vantages, workersPerVantage int) *workerPool {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &workerPool{ctx: ctx, cancel: cancel, queues: make([]chan poolJob, vantages)}
+	for v := range p.queues {
+		q := make(chan poolJob)
+		p.queues[v] = q
+		for w := 0; w < workersPerVantage; w++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for {
+					select {
+					case job := <-q:
+						job.fn(ctx)
+						close(job.done)
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// submit runs fn on the vantage's worker queue and waits for completion.
+// It reports false when the pool closed before the job could finish.
+func (p *workerPool) submit(vantage int, fn func(ctx context.Context)) bool {
+	job := poolJob{fn: fn, done: make(chan struct{})}
+	q := p.queues[vantage%len(p.queues)]
+	select {
+	case q <- job:
+	case <-p.ctx.Done():
+		return false
+	}
+	select {
+	case <-job.done:
+		return true
+	case <-p.ctx.Done():
+		return false
+	}
+}
+
+func (p *workerPool) close() {
+	p.cancel()
+	p.wg.Wait()
+}
+
 // Crawler is the measurement engine.
 type Crawler struct {
 	cfg     Config
@@ -141,12 +261,14 @@ type Crawler struct {
 	portal  PortalClient
 	tracker TrackerClient
 	prober  ecosystem.Prober // may be nil: skip wire identification
+	pool    *workerPool
 
-	mu       sync.Mutex
-	ds       *dataset.Dataset
-	known    map[string]bool // feed GUID -> seen
-	counters Counters
-	started  bool
+	ctr counterSet
+
+	mu      sync.Mutex
+	ds      *dataset.Dataset
+	known   map[string]bool // feed GUID -> seen
+	started bool
 }
 
 // New builds a crawler. prober may be nil, in which case publisher IPs are
@@ -162,10 +284,15 @@ func New(cfg Config, driver Driver, pc PortalClient, tc TrackerClient, prober ec
 		portal:  pc,
 		tracker: tc,
 		prober:  prober,
+		pool:    newWorkerPool(cfg.Vantages, cfg.Workers),
 		ds:      &dataset.Dataset{Name: cfg.DatasetName},
 		known:   map[string]bool{},
 	}, nil
 }
+
+// Close shuts the worker pool down, cancelling in-flight announces and
+// probes. The collected dataset and counters stay readable.
+func (c *Crawler) Close() { c.pool.close() }
 
 // Start begins polling at the driver's current time. Must be called once.
 func (c *Crawler) Start() error {
@@ -191,9 +318,7 @@ func (c *Crawler) Dataset() *dataset.Dataset {
 
 // Stats returns activity counters.
 func (c *Crawler) Stats() Counters {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counters
+	return c.ctr.snapshot()
 }
 
 func (c *Crawler) ended(now time.Time) bool {
@@ -202,14 +327,13 @@ func (c *Crawler) ended(now time.Time) bool {
 
 // pollRSS fires on every feed poll tick.
 func (c *Crawler) pollRSS(now time.Time) {
-	if c.ended(now) {
+	if c.ended(now) || c.pool.ctx.Err() != nil {
+		// Campaign over or crawler closed: stop re-arming the poll loop.
 		return
 	}
-	ctx := context.Background()
+	ctx := c.pool.ctx
 	items, err := c.portal.FetchRSS(ctx)
-	c.mu.Lock()
-	c.counters.RSSPolls++
-	c.mu.Unlock()
+	c.ctr.rssPolls.Add(1)
 	if err == nil {
 		for i := range items {
 			item := items[i]
@@ -229,7 +353,7 @@ func (c *Crawler) pollRSS(now time.Time) {
 
 // handleNewTorrent processes a freshly announced feed item.
 func (c *Crawler) handleNewTorrent(now time.Time, item *portal.FeedItem) {
-	ctx := context.Background()
+	ctx := c.pool.ctx
 	raw, err := c.portal.FetchTorrent(ctx, item.TorrentURL)
 	if err != nil {
 		return // removed between feed generation and fetch
@@ -266,8 +390,8 @@ func (c *Crawler) handleNewTorrent(now time.Time, item *portal.FeedItem) {
 	c.mu.Lock()
 	rec.TorrentID = len(c.ds.Torrents)
 	c.ds.AddTorrent(rec)
-	c.counters.TorrentsSeen++
 	c.mu.Unlock()
+	c.ctr.torrentsSeen.Add(1)
 
 	st := &torrentState{
 		rec:       rec,
@@ -308,8 +432,9 @@ type torrentState struct {
 	lastSeen  map[string]time.Time
 }
 
-// queryTracker performs one announce for one torrent from one vantage and
-// schedules the vantage's next slot.
+// queryTracker hands one announce for one torrent to the vantage's worker
+// queue and waits for it, so callers driven by the sim clock observe the
+// query's full effect before the clock proceeds.
 func (c *Crawler) queryTracker(now time.Time, st *torrentState, vantage int, first bool) {
 	if c.ended(now) {
 		return
@@ -320,13 +445,16 @@ func (c *Crawler) queryTracker(now time.Time, st *torrentState, vantage int, fir
 		return
 	}
 	st.mu.Unlock()
+	c.pool.submit(vantage, func(ctx context.Context) {
+		c.announceOnce(ctx, now, st, vantage, first)
+	})
+}
 
-	ctx := context.Background()
+// announceOnce performs the announce on a pool worker and schedules the
+// vantage's next slot.
+func (c *Crawler) announceOnce(ctx context.Context, now time.Time, st *torrentState, vantage int, first bool) {
 	resp, err := c.tracker.Announce(ctx, st.announce, st.ih, vantage, c.cfg.NumWant)
-
-	c.mu.Lock()
-	c.counters.TrackerQueries++
-	c.mu.Unlock()
+	c.ctr.trackerQueries.Add(1)
 
 	reschedule := func() {
 		if !c.cfg.SingleShot {
@@ -339,9 +467,7 @@ func (c *Crawler) queryTracker(now time.Time, st *torrentState, vantage int, fir
 	if err != nil {
 		var fe *tracker.ErrFailure
 		if errors.As(err, &fe) && fe.IsRateLimited() || errors.Is(err, tracker.ErrTooSoon) {
-			c.mu.Lock()
-			c.counters.RateLimited++
-			c.mu.Unlock()
+			c.ctr.rateLimited.Add(1)
 			reschedule()
 			return
 		}
@@ -364,7 +490,7 @@ func (c *Crawler) queryTracker(now time.Time, st *torrentState, vantage int, fir
 			st.rec.FirstSeenPeers = resp.Seeders + resp.Leechers
 			c.mu.Unlock()
 			if resp.Seeders == 1 && resp.Seeders+resp.Leechers < c.cfg.IdentifyMaxPeers {
-				c.identifySeeder(st, resp.Peers)
+				c.identifySeeder(ctx, st, resp.Peers)
 			}
 		}
 	}
@@ -407,26 +533,21 @@ func (c *Crawler) noteEmpty(st *torrentState) {
 		// Each vantage contributes replies; stop after the equivalent of
 		// EmptyToStop empty rounds across the aggregate.
 		st.stopped = true
-		c.mu.Lock()
-		c.counters.MonitoringStopped++
-		c.mu.Unlock()
+		c.ctr.monitoringStopped.Add(1)
 	}
 }
 
 // identifySeeder probes the returned peers over the wire protocol and
 // records the address of the unique seeder, when reachable.
-func (c *Crawler) identifySeeder(st *torrentState, peers []tracker.PeerAddr) {
+func (c *Crawler) identifySeeder(ctx context.Context, st *torrentState, peers []tracker.PeerAddr) {
 	if c.prober == nil {
 		return
 	}
-	ctx := context.Background()
 	var seederIP netip.Addr
 	found := 0
 	for _, p := range peers {
 		res, err := c.prober.Probe(ctx, p.IP, st.ih, st.numPieces)
-		c.mu.Lock()
-		c.counters.WireProbes++
-		c.mu.Unlock()
+		c.ctr.wireProbes.Add(1)
 		if err != nil {
 			continue // NATed or gone
 		}
@@ -438,6 +559,7 @@ func (c *Crawler) identifySeeder(st *torrentState, peers []tracker.PeerAddr) {
 	// Only a unique, reachable complete peer counts as the identified
 	// initial publisher.
 	if found == 1 {
+		c.ctr.publishersByIP.Add(1)
 		c.mu.Lock()
 		st.rec.PublisherIP = seederIP.String()
 		c.ds.AddObservation(dataset.Observation{
@@ -446,7 +568,6 @@ func (c *Crawler) identifySeeder(st *torrentState, peers []tracker.PeerAddr) {
 			At:        c.driver.Now(),
 			Seeder:    true,
 		})
-		c.counters.PublishersByIP++
 		c.mu.Unlock()
 	}
 }

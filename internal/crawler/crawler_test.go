@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/netip"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -109,6 +111,90 @@ func TestStartTwiceFails(t *testing.T) {
 	if err := cr.Start(); err == nil {
 		t.Fatal("second Start accepted")
 	}
+}
+
+func TestWorkerPoolRunsJobsPerVantage(t *testing.T) {
+	p := newWorkerPool(3, 2)
+	defer p.close()
+	var mu sync.Mutex
+	ran := map[int]int{}
+	var wg sync.WaitGroup
+	for v := 0; v < 3; v++ {
+		for i := 0; i < 5; i++ {
+			wg.Add(1)
+			v := v
+			go func() {
+				defer wg.Done()
+				if !p.submit(v, func(context.Context) {
+					mu.Lock()
+					ran[v]++
+					mu.Unlock()
+				}) {
+					t.Error("submit failed on open pool")
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	for v := 0; v < 3; v++ {
+		if ran[v] != 5 {
+			t.Fatalf("vantage %d ran %d jobs, want 5", v, ran[v])
+		}
+	}
+}
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	const workers = 2
+	p := newWorkerPool(1, workers)
+	defer p.close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.submit(0, func(context.Context) {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestWorkerPoolCloseCancelsSubmit(t *testing.T) {
+	p := newWorkerPool(1, 1)
+	block := make(chan struct{})
+	go p.submit(0, func(ctx context.Context) {
+		<-ctx.Done()
+		close(block)
+	})
+	// Give the blocking job a moment to occupy the only worker, then close:
+	// a queued submit must return false instead of hanging.
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan bool, 1)
+	go func() { done <- p.submit(0, func(context.Context) {}) }()
+	time.Sleep(10 * time.Millisecond)
+	p.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("queued submit reported success after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("submit did not unblock on close")
+	}
+	<-block
 }
 
 type stubStore struct{}

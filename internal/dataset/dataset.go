@@ -159,6 +159,80 @@ func (d *Dataset) ObservationsByTorrent() map[int][]Observation {
 	return out
 }
 
+// Merge combines shard datasets into one canonical dataset. Torrent
+// records are ordered by (Published, InfoHash) and renumbered, each part's
+// observations are remapped to the new torrent IDs, observations are
+// ordered by (At, TorrentID, IP, Seeder) and users by username. The
+// ordering depends only on record content, never on which shard produced a
+// record or when, so a sharded crawl serialises byte-identically to a
+// serial one. Records are copied; the parts are left untouched. The window
+// stamps span the parts' (callers usually overwrite them with the campaign
+// window). Passing a single part canonicalises it.
+func Merge(name string, parts ...*Dataset) *Dataset {
+	out := &Dataset{Name: name}
+	type src struct {
+		rec  *TorrentRecord
+		part int
+	}
+	var all []src
+	for pi, p := range parts {
+		for _, t := range p.Torrents {
+			all = append(all, src{rec: t, part: pi})
+		}
+		if out.Start.IsZero() || (!p.Start.IsZero() && p.Start.Before(out.Start)) {
+			out.Start = p.Start
+		}
+		if p.End.After(out.End) {
+			out.End = p.End
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].rec, all[j].rec
+		if !a.Published.Equal(b.Published) {
+			return a.Published.Before(b.Published)
+		}
+		return a.InfoHash < b.InfoHash
+	})
+	// Renumber on copies and build each part's old->new ID map.
+	remap := make([]map[int]int, len(parts))
+	for i := range remap {
+		remap[i] = map[int]int{}
+	}
+	out.Torrents = make([]*TorrentRecord, len(all))
+	for newID, s := range all {
+		cp := *s.rec
+		remap[s.part][cp.TorrentID] = newID
+		cp.TorrentID = newID
+		out.Torrents[newID] = &cp
+	}
+	for pi, p := range parts {
+		for _, o := range p.Observations {
+			if id, ok := remap[pi][o.TorrentID]; ok {
+				o.TorrentID = id
+				out.Observations = append(out.Observations, o)
+			}
+		}
+		out.Users = append(out.Users, p.Users...)
+	}
+	sort.Slice(out.Observations, func(i, j int) bool {
+		a, b := out.Observations[i], out.Observations[j]
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.TorrentID != b.TorrentID {
+			return a.TorrentID < b.TorrentID
+		}
+		if a.IP != b.IP {
+			return a.IP < b.IP
+		}
+		return !a.Seeder && b.Seeder
+	})
+	sort.Slice(out.Users, func(i, j int) bool {
+		return out.Users[i].Username < out.Users[j].Username
+	})
+	return out
+}
+
 // ParseIP parses an observation/record address.
 func ParseIP(s string) (netip.Addr, error) {
 	addr, err := netip.ParseAddr(s)

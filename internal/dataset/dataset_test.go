@@ -172,3 +172,98 @@ func TestLargeDatasetStreamRoundTrip(t *testing.T) {
 		t.Fatalf("sizes = %d/%d", len(got.Torrents), len(got.Observations))
 	}
 }
+
+func TestMergeCanonicalOrderAndRemap(t *testing.T) {
+	// Two shards whose torrents interleave in publication time and whose
+	// local IDs collide.
+	a := &Dataset{Name: "shard0", Start: t0, End: t0.AddDate(0, 1, 0)}
+	a.AddTorrent(&TorrentRecord{TorrentID: 0, InfoHash: strings.Repeat("dd", 20), Published: t0.Add(4 * time.Hour)})
+	a.AddObservation(Observation{TorrentID: 0, IP: "10.0.0.1", At: t0.Add(5 * time.Hour)})
+	a.Users = append(a.Users, UserRecord{Username: "zeta"})
+
+	b := &Dataset{Name: "shard1", Start: t0, End: t0.AddDate(0, 1, 0)}
+	b.AddTorrent(&TorrentRecord{TorrentID: 0, InfoHash: strings.Repeat("aa", 20), Published: t0.Add(2 * time.Hour)})
+	b.AddTorrent(&TorrentRecord{TorrentID: 1, InfoHash: strings.Repeat("bb", 20), Published: t0.Add(6 * time.Hour)})
+	b.AddObservation(Observation{TorrentID: 1, IP: "10.0.0.2", At: t0.Add(7 * time.Hour)})
+	b.AddObservation(Observation{TorrentID: 0, IP: "10.0.0.3", At: t0.Add(3 * time.Hour)})
+	b.Users = append(b.Users, UserRecord{Username: "alpha"})
+
+	m := Merge("merged", a, b)
+	if m.Name != "merged" {
+		t.Fatalf("name = %q", m.Name)
+	}
+	wantHashes := []string{strings.Repeat("aa", 20), strings.Repeat("dd", 20), strings.Repeat("bb", 20)}
+	for i, want := range wantHashes {
+		if m.Torrents[i].InfoHash != want {
+			t.Fatalf("torrent %d = %s, want %s", i, m.Torrents[i].InfoHash, want)
+		}
+		if m.Torrents[i].TorrentID != i {
+			t.Fatalf("torrent %d renumbered to %d", i, m.Torrents[i].TorrentID)
+		}
+	}
+	// Observations remapped to the canonical IDs and sorted by time.
+	wantObs := []struct {
+		id int
+		ip string
+	}{{0, "10.0.0.3"}, {1, "10.0.0.1"}, {2, "10.0.0.2"}}
+	if len(m.Observations) != len(wantObs) {
+		t.Fatalf("%d observations, want %d", len(m.Observations), len(wantObs))
+	}
+	for i, want := range wantObs {
+		got := m.Observations[i]
+		if got.TorrentID != want.id || got.IP != want.ip {
+			t.Fatalf("obs %d = {t%d %s}, want {t%d %s}", i, got.TorrentID, got.IP, want.id, want.ip)
+		}
+	}
+	if m.Users[0].Username != "alpha" || m.Users[1].Username != "zeta" {
+		t.Fatalf("users not sorted: %+v", m.Users)
+	}
+	// Source parts must be untouched (records copied before renumbering).
+	if b.Torrents[1].TorrentID != 1 {
+		t.Fatalf("merge mutated source part: %d", b.Torrents[1].TorrentID)
+	}
+}
+
+func TestMergeSplitEqualsWhole(t *testing.T) {
+	d := sampleDataset()
+	d.Users = append(d.Users,
+		UserRecord{Username: "xk2j9qpa"},
+		UserRecord{Username: "ultratorrents07", Exists: true})
+
+	// Split the sample by torrent into two shard-shaped parts with local IDs.
+	a := &Dataset{Name: d.Name, Start: d.Start, End: d.End}
+	b := &Dataset{Name: d.Name, Start: d.Start, End: d.End}
+	for _, tr := range d.Torrents {
+		cp := *tr
+		part := a
+		if tr.TorrentID%2 == 1 {
+			part = b
+		}
+		cp.TorrentID = len(part.Torrents)
+		for _, o := range d.Observations {
+			if o.TorrentID == tr.TorrentID {
+				o.TorrentID = cp.TorrentID
+				part.AddObservation(o)
+			}
+		}
+		part.AddTorrent(&cp)
+		if cp.Username != "" {
+			for _, u := range d.Users {
+				if u.Username == cp.Username {
+					part.Users = append(part.Users, u)
+				}
+			}
+		}
+	}
+
+	var whole, split bytes.Buffer
+	if err := Merge(d.Name, d).Write(&whole); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(d.Name, a, b).Write(&split); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole.Bytes(), split.Bytes()) {
+		t.Fatalf("split merge differs from whole merge:\n%s\n---\n%s", whole.String(), split.String())
+	}
+}

@@ -51,6 +51,26 @@ type Config struct {
 	// DrainDays extends swarm life past the campaign so late torrents
 	// still develop (default 10).
 	DrainDays int
+	// ShardIndex/ShardCount restrict this ecosystem to one shard of the
+	// world: only publishers with ID % ShardCount == ShardIndex (and their
+	// torrents) exist here. Sharding by publisher keeps each publisher's
+	// seeding-slot queue, portal account and username sweep inside a single
+	// shard. ShardCount <= 1 owns the whole world.
+	ShardIndex int
+	ShardCount int
+	// Consumption is the full-world publisher-consumption plan, normally
+	// PlanConsumption(World, Seed). Leave nil to have New compute it;
+	// multi-shard callers compute it once and share it so N shards do not
+	// redo (and hold) N copies of the same plan.
+	Consumption map[int][]ConsumptionEvent
+}
+
+// ownsPublisher reports whether this ecosystem's shard includes pubID.
+func (c *Config) ownsPublisher(pubID int) bool {
+	if c.ShardCount <= 1 {
+		return true
+	}
+	return pubID%c.ShardCount == c.ShardIndex
 }
 
 // Ecosystem is the assembled world.
@@ -59,7 +79,7 @@ type Ecosystem struct {
 	clock  *simclock.Sim
 	Portal *portal.Portal
 
-	root *rng.Stream
+	seed uint64 // mixed scenario seed; all streams derive purely from it
 	pool *consumerPool
 
 	mu      sync.Mutex
@@ -82,9 +102,17 @@ type swarmState struct {
 
 // New builds the ecosystem and schedules every publication and moderation
 // event on the clock. Events fire as the clock advances.
+//
+// Every random stream the ecosystem uses is derived purely from
+// (cfg.Seed, torrent ID) — never from a shared stream consumed in event
+// order — so a torrent's swarm unfolds identically whether the world runs
+// whole or split across shards.
 func New(cfg Config) (*Ecosystem, error) {
 	if cfg.World == nil || cfg.DB == nil || cfg.Clock == nil {
 		return nil, errors.New("ecosystem: World, DB and Clock are required")
+	}
+	if cfg.ShardCount > 1 && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		return nil, fmt.Errorf("ecosystem: shard index %d outside [0, %d)", cfg.ShardIndex, cfg.ShardCount)
 	}
 	if cfg.TrackerURL == "" {
 		cfg.TrackerURL = "http://tracker.sim/announce"
@@ -106,14 +134,19 @@ func New(cfg Config) (*Ecosystem, error) {
 		cfg:    cfg,
 		clock:  cfg.Clock,
 		Portal: p,
-		root:   rng.New(cfg.Seed^0x5bd1e995, "ecosystem"),
+		seed:   cfg.Seed ^ 0x5bd1e995,
 		swarms: map[metainfo.Hash]*swarmState{},
 		byID:   map[int]*swarmState{},
 	}
 	e.pool = newConsumerPool(cfg.DB, cfg.NATFraction)
 
-	// Register portal accounts with their pre-campaign history.
+	// Register portal accounts with their pre-campaign history (owned
+	// publishers only: a sharded portal serves exactly its shard's feed and
+	// user pages).
 	for _, pub := range cfg.World.Publishers {
+		if !cfg.ownsPublisher(pub.ID) {
+			continue
+		}
 		for _, username := range pub.Usernames {
 			histEach := pub.HistoricalTorrents / len(pub.Usernames)
 			if err := p.RegisterAccount(username, pub.AccountCreated, histEach, pub.AccountCreated.Add(24*time.Hour)); err != nil {
@@ -122,17 +155,26 @@ func New(cfg Config) (*Ecosystem, error) {
 		}
 	}
 
-	// Pre-compute publisher consumption: which publishers appear as
-	// leechers in which torrents (top-100 IP download analysis, §3.1).
-	consumption := e.planConsumption()
+	// Publisher consumption: which publishers appear as leechers in which
+	// torrents (top-100 IP download analysis, §3.1). The plan is pure in
+	// (World, Seed), so a shared plan and a recomputed one are identical.
+	consumption := cfg.Consumption
+	if consumption == nil {
+		consumption = PlanConsumption(cfg.World, cfg.Seed)
+	}
 
 	// Schedule every publication on the clock. Swarm construction happens
 	// at publish time to keep peak memory proportional to elapsed time.
 	planners := map[int]*planner{}
 	for _, pub := range cfg.World.Publishers {
-		planners[pub.ID] = newPlanner(pub, cfg.World.Start)
+		if cfg.ownsPublisher(pub.ID) {
+			planners[pub.ID] = newPlanner(pub, cfg.World.Start)
+		}
 	}
 	for _, tor := range cfg.World.Torrents {
+		if !cfg.ownsPublisher(tor.PublisherID) {
+			continue
+		}
 		tor := tor
 		e.pending++
 		e.clock.Schedule(tor.Published, func(now time.Time) {
@@ -148,23 +190,26 @@ func (e *Ecosystem) Clock() *simclock.Sim { return e.clock }
 // World exposes the ground truth for validation.
 func (e *Ecosystem) World() *population.World { return e.cfg.World }
 
-// consumptionEvent injects a publisher's own IP as a leecher.
-type consumptionEvent struct {
-	ip    netip.Addr
-	delay time.Duration // after torrent publication
+// ConsumptionEvent injects a publisher's own IP as a leecher some delay
+// after a torrent's publication.
+type ConsumptionEvent struct {
+	IP    netip.Addr
+	Delay time.Duration // after torrent publication
 }
 
-// planConsumption rolls, for every consuming publisher, which torrents it
-// downloads during the campaign.
-func (e *Ecosystem) planConsumption() map[int][]consumptionEvent {
-	s := e.root.Derive("consumption")
-	out := map[int][]consumptionEvent{}
-	n := len(e.cfg.World.Torrents)
+// PlanConsumption rolls, for every consuming publisher, which torrents it
+// downloads during the campaign (top-100 IP download analysis, §3.1). The
+// result is keyed by torrent ID and is a pure function of (w, seed): no
+// shared stream state, so concurrent shards derive identical plans.
+func PlanConsumption(w *population.World, seed uint64) map[int][]ConsumptionEvent {
+	s := rng.Labeled(seed^0x5bd1e995, "consumption", 0)
+	out := map[int][]ConsumptionEvent{}
+	n := len(w.Torrents)
 	if n == 0 {
 		return out
 	}
-	days := float64(e.cfg.World.Params.CampaignDays)
-	for _, pub := range e.cfg.World.Publishers {
+	days := float64(w.Params.CampaignDays)
+	for _, pub := range w.Publishers {
 		if pub.ConsumeRate <= 0 {
 			continue
 		}
@@ -173,7 +218,7 @@ func (e *Ecosystem) planConsumption() map[int][]consumptionEvent {
 			tid := s.IntN(n)
 			offset := time.Duration(s.Uniform(1, 72)) * time.Hour
 			ipIdx := s.IntN(len(pub.IPs))
-			out[tid] = append(out[tid], consumptionEvent{ip: pub.IPs[ipIdx], delay: offset})
+			out[tid] = append(out[tid], ConsumptionEvent{IP: pub.IPs[ipIdx], Delay: offset})
 		}
 	}
 	return out
@@ -182,7 +227,7 @@ func (e *Ecosystem) planConsumption() map[int][]consumptionEvent {
 // publish fires at a torrent's publication instant: builds the .torrent,
 // indexes it on the portal, creates the swarm and installs the publisher's
 // seeding schedule; finally schedules moderation for fakes.
-func (e *Ecosystem) publish(tor *population.Torrent, pl *planner, cons []consumptionEvent, now time.Time) {
+func (e *Ecosystem) publish(tor *population.Torrent, pl *planner, cons []ConsumptionEvent, now time.Time) {
 	b := metainfo.Builder{
 		Name:     tor.FileName,
 		Length:   tor.SizeBytes,
@@ -215,12 +260,12 @@ func (e *Ecosystem) publish(tor *population.Torrent, pl *planner, cons []consump
 		horizon = 24 * time.Hour
 	}
 	var extra []*swarm.Peer
-	cs := e.root.Derive(fmt.Sprintf("extra-%d", tor.ID))
+	cs := rng.Labeled(e.seed, "extra", tor.ID)
 	for _, ev := range cons {
-		arrive := now.Add(ev.delay)
+		arrive := now.Add(ev.Delay)
 		stay := time.Duration(cs.Uniform(1, 12) * float64(time.Hour))
 		extra = append(extra, &swarm.Peer{
-			IP:     ev.ip,
+			IP:     ev.IP,
 			Arrive: arrive,
 			Depart: arrive.Add(stay),
 		})
@@ -258,7 +303,7 @@ func (e *Ecosystem) publish(tor *population.Torrent, pl *planner, cons []consump
 		SeedProb:         0.5,
 		MeanSeedHours:    6,
 		AbortProb:        0.15,
-	}, e.root.Derive(fmt.Sprintf("swarm-%d", tor.ID)), e.pool, extra)
+	}, rng.Labeled(e.seed, "swarm", tor.ID), e.pool, extra)
 	if err != nil {
 		panic(fmt.Sprintf("ecosystem: swarm %d: %v", tor.ID, err))
 	}
@@ -273,7 +318,7 @@ func (e *Ecosystem) publish(tor *population.Torrent, pl *planner, cons []consump
 		tor:       tor,
 		infoHash:  ih,
 		numPieces: mi.Info.NumPieces(),
-		sampleRng: e.root.Derive(fmt.Sprintf("sample-%d", tor.ID)),
+		sampleRng: rng.Labeled(e.seed, "sample", tor.ID),
 		plan:      plan,
 		lastNow:   now.Add(-time.Second),
 		pubNAT:    e.cfg.World.Publishers[tor.PublisherID].NATed,
@@ -437,18 +482,19 @@ var _ Prober = (*InProcessProber)(nil)
 // ---------------------------------------------------------------------
 
 // consumerPool draws downloader IPs from commercial/residential ISPs only;
-// the paper verified hosting providers never appear among consumers.
+// the paper verified hosting providers never appear among consumers. The
+// pool is immutable after construction: every draw comes from the caller's
+// per-swarm stream, so a swarm's downloader identities are a pure function
+// of its own stream — identical across shard counts and GOMAXPROCS.
 type consumerPool struct {
 	db      *geoip.DB
 	isps    []string
 	weights []float64
 	nat     float64
-	mu      sync.Mutex
-	stream  *rng.Stream
 }
 
 func newConsumerPool(db *geoip.DB, natFraction float64) *consumerPool {
-	cp := &consumerPool{db: db, nat: natFraction, stream: rng.New(0xC0FFEE, "consumers")}
+	cp := &consumerPool{db: db, nat: natFraction}
 	for _, name := range db.ISPNames() {
 		isp := db.ISPByName(name)
 		if isp.Type != geoip.Commercial {
@@ -462,19 +508,15 @@ func newConsumerPool(db *geoip.DB, natFraction float64) *consumerPool {
 	return cp
 }
 
-// DrawConsumer implements swarm.ConsumerPool. It uses the pool's own stream
-// under a lock: consumer identity does not need to be correlated with the
-// per-swarm streams, only reproducible in aggregate.
+// DrawConsumer implements swarm.ConsumerPool.
 func (cp *consumerPool) DrawConsumer(s *rng.Stream) (netip.Addr, bool) {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
-	idx := cp.stream.WeightedChoice(cp.weights)
-	addr, err := cp.db.RandomIP(cp.stream, cp.isps[idx], 0)
+	idx := s.WeightedChoice(cp.weights)
+	addr, err := cp.db.RandomIP(s, cp.isps[idx], 0)
 	if err != nil {
 		// The registry is static; failure here is a programming error.
 		panic("ecosystem: draw consumer: " + err.Error())
 	}
-	return addr, cp.stream.Bool(cp.nat)
+	return addr, s.Bool(cp.nat)
 }
 
 // ---------------------------------------------------------------------

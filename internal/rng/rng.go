@@ -7,6 +7,7 @@
 package rng
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
@@ -22,6 +23,21 @@ type Stream struct {
 func New(seed uint64, label string) *Stream {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(label))
+	return &Stream{r: rand.New(rand.NewPCG(seed, h.Sum64()))}
+}
+
+// Labeled returns the stream identified by (seed, label, n). Unlike
+// Derive, the construction is pure: it consumes no other stream's state, so
+// the same triple yields the same stream no matter which goroutine, shard
+// or call order creates it. The sharded campaign engine keys every
+// per-torrent stream this way, which is what makes the merged dataset
+// identical for any shard count.
+func Labeled(seed uint64, label string, n int) *Stream {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(n))
+	_, _ = h.Write(b[:])
 	return &Stream{r: rand.New(rand.NewPCG(seed, h.Sum64()))}
 }
 
