@@ -1,0 +1,43 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+# The bench targets pipe go test into cmd/benchjson; without pipefail a
+# failing test run whose output still contains the bench lines would exit
+# 0 and CI would go green on a broken build.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# The E1–E15 experiment suite (bench_test.go) plus the campaign engine
+# benchmarks.
+ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable2ISP|BenchmarkTable3OVHComcast|BenchmarkSection33CrossAnalysis|BenchmarkFigure2ContentTypes|BenchmarkFigure3Popularity|BenchmarkFigure4aSeedingTime|BenchmarkFigure4bParallel|BenchmarkFigure4cSession|BenchmarkSection51Business|BenchmarkTable4Longitudinal|BenchmarkTable5Income|BenchmarkSection6OVH|BenchmarkAppendixAEstimator
+CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel
+
+BENCH_DATE := $(shell date +%Y-%m-%d)
+
+.PHONY: test bench bench-campaign bench-smoke fmt vet
+
+test:
+	go build ./... && go test ./...
+
+# Run the E1–E15 suite with -benchmem and record the perf trajectory as
+# BENCH_<date>.json (cmd/benchjson parses the text output).
+bench:
+	go test -run '^$$' -bench '$(ANALYSIS_BENCH)' -benchmem -timeout 60m . \
+		| go run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
+
+# The campaign engine benchmarks, with the allocation ceiling enforced —
+# the same gate CI runs.
+bench-campaign:
+	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)' -benchtime=2x -benchmem -timeout 60m . \
+		| go run ./cmd/benchjson -o BENCH_campaign_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt
+
+# One cheap 1x pass of the campaign benches + the alloc ceiling, for CI.
+bench-smoke:
+	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
+		| go run ./cmd/benchjson -ceilings ci/bench-ceilings.txt
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	go vet ./...

@@ -253,7 +253,7 @@ func benchCampaign(b *testing.B, shards, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(res.Dataset.Torrents) == 0 || len(res.Dataset.Observations) == 0 {
+		if len(res.Dataset.Torrents) == 0 || res.Dataset.NumObservations() == 0 {
 			b.Fatal("empty campaign")
 		}
 	}

@@ -1,0 +1,181 @@
+// benchjson converts `go test -bench -benchmem` text output (stdin) into a
+// JSON benchmark record, and optionally enforces allocs/op ceilings so CI
+// fails fast on allocation regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_2026-07-28.json
+//	go test -run '^$' -bench 'BenchmarkCampaign' -benchmem . | benchjson -ceilings ci/bench-ceilings.txt
+//
+// The ceilings file lists "BenchmarkName maxAllocsPerOp" pairs (# starts a
+// comment). A listed benchmark missing from the input is an error too, so
+// the gate cannot silently rot.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the serialized document.
+type Report struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	ceilings := flag.String("ceilings", "", "allocs/op ceilings file to enforce")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin"))
+	}
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	if *ceilings != "" {
+		if err := enforceCeilings(*ceilings, results); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: all alloc ceilings respected")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// parseBench extracts benchmark result lines of the form
+//
+//	BenchmarkName-8  	  100	  123456 ns/op	  789 B/op	  12 allocs/op
+func parseBench(f *os.File) ([]Result, error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	var out []Result
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw line so piping through benchjson loses nothing.
+		fmt.Fprintln(os.Stderr, line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: baseName(fields[0]), Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+				ok = true
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// baseName strips the -GOMAXPROCS suffix go test appends.
+func baseName(s string) string {
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func enforceCeilings(path string, results []Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var violations []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("benchjson: %s:%d: want \"BenchmarkName maxAllocsPerOp\", got %q", path, ln+1, line)
+		}
+		ceiling, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("benchjson: %s:%d: bad ceiling %q", path, ln+1, fields[1])
+		}
+		r, ok := byName[fields[0]]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: not present in benchmark output", fields[0]))
+			continue
+		}
+		if r.AllocsPerOp > ceiling {
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op exceeds ceiling %d", r.Name, r.AllocsPerOp, ceiling))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchjson: allocation ceilings violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}

@@ -42,5 +42,5 @@ func main() {
 	stats := res.Stats()
 	log.Printf("%s: %d torrents (%d with IP), %d observations, %d distinct IPs, %d queries -> %s",
 		*style, stats.TorrentsSeen, res.Dataset.TorrentsWithIP(),
-		len(res.Dataset.Observations), res.Dataset.DistinctIPs(), stats.TrackerQueries, path)
+		res.Dataset.NumObservations(), res.Dataset.DistinctIPs(), stats.TrackerQueries, path)
 }

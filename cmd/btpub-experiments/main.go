@@ -53,7 +53,7 @@ func logRun(res *campaign.Result) {
 	st := res.Stats()
 	log.Printf("%s done in %v: %d torrents, %d tracker queries, %d observations, %d distinct IPs",
 		res.Dataset.Name, res.Elapsed, st.TorrentsSeen, st.TrackerQueries,
-		len(res.Dataset.Observations), res.Dataset.DistinctIPs())
+		res.Dataset.NumObservations(), res.Dataset.DistinctIPs())
 }
 
 func writeReport(res *campaign.Result, out string) {
@@ -114,7 +114,7 @@ func runSweep(sweep, seedList string, scale float64, seed uint64, md float64, sh
 		st := res.Stats()
 		fmt.Printf("| %s | %d | %d | %d | %d | %d | %v |\n",
 			res.Dataset.Name, len(res.Dataset.Torrents), res.Dataset.TorrentsWithIP(),
-			len(res.Dataset.Observations), res.Dataset.DistinctIPs(), st.TrackerQueries, res.Elapsed)
+			res.Dataset.NumObservations(), res.Dataset.DistinctIPs(), st.TrackerQueries, res.Elapsed)
 		if primary == nil && sr.Spec.Style == campaign.PB10 {
 			primary = res
 		}

@@ -36,8 +36,50 @@
 // fan-out the follow-up studies (TorrentGuard, the multimedia-evolution
 // study) needed.
 //
+// # Columnar observation store
+//
+// Tracker observations dominate every dataset (pb10: ~27k torrents,
+// millions of IP sightings), so dataset stores them columnar instead of
+// as rows of structs: dataset.ObsStore keeps parallel slices of int32
+// torrent ID, uint32 interned-IP index and int64 unix-nanosecond
+// timestamp plus a seeder bitset, backed by a dataset.IPTable that
+// interns each distinct address exactly once (string identity, parsed
+// netip.Addr kept alongside). A sighting costs ~16 flat bytes instead of
+// a 56-byte struct plus a heap string; the crawler appends via the
+// interned fast path, so repeat sightings of a known address allocate
+// nothing.
+//
+// The JSONL codec keeps the on-disk format byte-identical to the old
+// encoding/json output for UTC data (all the simulator and crawler ever
+// produce; non-UTC offsets re-encode as the same instant in UTC, and
+// instants outside the int64-nanosecond range are rejected at Read) while
+// hand-rolling the observation-line encode and decode paths (≈8x faster encode with ~zero allocations, decode
+// allocating only per distinct address); anything non-canonical falls
+// back to encoding/json, so exotic input is slower, never wrong. A golden
+// file plus a fuzz target hold the fast paths to exact equivalence.
+// dataset.Merge remaps each shard's intern table once, counts (and logs)
+// observations whose torrent record is missing instead of dropping them
+// silently, and sorts over fixed-width keys.
+//
+// # Index-once analysis
+//
+// analysis.New builds one immutable index over the store: per-torrent
+// observation spans and a per-IP inversion (both counting sorts),
+// publisher addresses parsed and geo-resolved exactly once, per-user
+// interned-IP sets, and the ISP aggregates behind Tables 2–3 and
+// Section 6. Every consumer — Summary, Skewness, ISPTable, ContrastISPs,
+// Seeding, HostingIncomeFor — reads the index instead of rebuilding maps
+// or re-parsing address strings per call: Table 1 and Section 6 become
+// O(1) reads, and the Figure 4 seeding estimator walks each publisher's
+// own sightings rather than every observation of every torrent it fed
+// (~14x on the Figure 4 benchmarks, ~100,000x on Table 1).
+//
 // The tier-1 gate is `go build ./... && go test ./...`; CI additionally
 // runs `go vet`, gofmt, the race detector, and a 1x smoke pass of
-// BenchmarkCampaignSerial/BenchmarkCampaignParallel so perf regressions
-// fail loudly. See README.md for the shard/worker knobs on each binary.
+// BenchmarkCampaignSerial/BenchmarkCampaignParallel whose allocs/op are
+// gated against a checked-in ceiling (ci/bench-ceilings.txt, enforced by
+// cmd/benchjson) so allocation regressions fail loudly. `make bench`
+// runs the E1–E15 suite with -benchmem and records BENCH_<date>.json for
+// the perf trajectory. See README.md for the shard/worker knobs on each
+// binary and the measured speedups.
 package btpub

@@ -161,5 +161,5 @@ func main() {
 	wg.Wait()
 	ds := dataset.Merge("livecrawl", parts...)
 	fmt.Printf("\nlive crawl captured %d torrents, %d observations, %d distinct IPs, %d user pages\n",
-		len(ds.Torrents), len(ds.Observations), ds.DistinctIPs(), len(ds.Users))
+		len(ds.Torrents), ds.NumObservations(), ds.DistinctIPs(), len(ds.Users))
 }

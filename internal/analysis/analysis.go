@@ -9,7 +9,7 @@ package analysis
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -29,7 +29,11 @@ type Analysis struct {
 	Groups *classify.Groups
 	ByID   map[int]*dataset.TorrentRecord
 
-	obsByTorrent map[int][]dataset.Observation
+	// idx is the immutable one-pass index (per-torrent observation spans,
+	// pre-resolved publisher geo records, per-user interned-IP sets) that
+	// every table/figure consumer reads instead of rebuilding maps or
+	// re-parsing addresses per call.
+	idx *index
 }
 
 // New indexes a dataset for analysis. topK <= 0 picks the paper's 3 % rule.
@@ -47,14 +51,8 @@ func New(ds *dataset.Dataset, db *geoip.DB, topK int) (*Analysis, error) {
 		Facts:  facts,
 		Groups: facts.BuildGroups(topK, 400),
 		ByID:   ds.ByTorrentID(),
+		idx:    buildIndex(ds, db, facts),
 	}, nil
-}
-
-func (a *Analysis) observations() map[int][]dataset.Observation {
-	if a.obsByTorrent == nil {
-		a.obsByTorrent = a.DS.ObservationsByTorrent()
-	}
-	return a.obsByTorrent
 }
 
 // GroupNames are the figure labels in display order.
@@ -147,45 +145,16 @@ type ISPRow struct {
 	Percent float64 // % of identified-publisher content
 }
 
-// ISPTable ranks ISPs by the content their publishers feed (Table 2).
+// ISPTable ranks ISPs by the content their publishers feed (Table 2). The
+// ranking is precomputed at New; each call copies the requested head.
 func (a *Analysis) ISPTable(topN int) []ISPRow {
-	counts := map[string]int{}
-	types := map[string]geoip.ISPType{}
-	total := 0
-	for _, rec := range a.DS.Torrents {
-		if rec.PublisherIP == "" {
-			continue
-		}
-		addr, err := dataset.ParseIP(rec.PublisherIP)
-		if err != nil {
-			continue
-		}
-		r, err := a.DB.Lookup(addr)
-		if err != nil {
-			continue
-		}
-		counts[r.ISP]++
-		types[r.ISP] = r.Type
-		total++
-	}
-	rows := make([]ISPRow, 0, len(counts))
-	for isp, n := range counts {
-		rows = append(rows, ISPRow{
-			ISP:     isp,
-			Type:    types[isp],
-			Percent: 100 * float64(n) / float64(total),
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Percent != rows[j].Percent {
-			return rows[i].Percent > rows[j].Percent
-		}
-		return rows[i].ISP < rows[j].ISP
-	})
+	rows := a.idx.ispRows
 	if topN > 0 && len(rows) > topN {
 		rows = rows[:topN]
 	}
-	return rows
+	out := make([]ISPRow, len(rows))
+	copy(out, rows)
+	return out
 }
 
 // ISPContrast is one Table 3 row: the footprint of one ISP's feeders.
@@ -198,52 +167,16 @@ type ISPContrast struct {
 }
 
 // ContrastISPs reproduces Table 3 for the named providers (the paper uses
-// OVH vs Comcast).
+// OVH vs Comcast). Footprints are precomputed at New; unknown names yield
+// zero rows, as the scan did.
 func (a *Analysis) ContrastISPs(names ...string) []ISPContrast {
 	out := make([]ISPContrast, len(names))
 	for i, n := range names {
-		out[i].ISP = n
-	}
-	idx := map[string]*ISPContrast{}
-	for i := range out {
-		idx[out[i].ISP] = &out[i]
-	}
-	ips := map[string]map[string]bool{}
-	prefixes := map[string]map[uint32]bool{}
-	locations := map[string]map[string]bool{}
-	for _, rec := range a.DS.Torrents {
-		if rec.PublisherIP == "" {
-			continue
+		if c, ok := a.idx.contrast[n]; ok {
+			out[i] = c
+		} else {
+			out[i].ISP = n
 		}
-		addr, err := dataset.ParseIP(rec.PublisherIP)
-		if err != nil {
-			continue
-		}
-		r, err := a.DB.Lookup(addr)
-		if err != nil {
-			continue
-		}
-		c := idx[r.ISP]
-		if c == nil {
-			continue
-		}
-		c.FedTorrents++
-		if ips[r.ISP] == nil {
-			ips[r.ISP] = map[string]bool{}
-			prefixes[r.ISP] = map[uint32]bool{}
-			locations[r.ISP] = map[string]bool{}
-		}
-		ips[r.ISP][rec.PublisherIP] = true
-		if p, err := geoip.Slash16(addr); err == nil {
-			prefixes[r.ISP][p] = true
-		}
-		locations[r.ISP][r.Country+"/"+r.City] = true
-	}
-	for i := range out {
-		n := out[i].ISP
-		out[i].IPAddresses = len(ips[n])
-		out[i].Slash16s = len(prefixes[n])
-		out[i].GeoLocations = len(locations[n])
 	}
 	return out
 }
@@ -270,8 +203,12 @@ func (a *Analysis) ContentTypes() map[string]map[string]float64 {
 			}
 		}
 		shares := map[string]float64{}
-		for cat, n := range counts {
-			shares[cat] = float64(n) / float64(total)
+		if total > 0 {
+			// Guard the division: a group with no torrents contributes an
+			// empty share map, not NaNs.
+			for cat, n := range counts {
+				shares[cat] = float64(n) / float64(total)
+			}
 		}
 		out[label] = shares
 	}
@@ -345,44 +282,86 @@ type SeedingBehaviour struct {
 // with the given gap threshold (zero = the paper's ~4 h).
 func (a *Analysis) Seeding(gap time.Duration) SeedingBehaviour {
 	est := sessions.Estimator{Gap: gap, MinSession: 15 * time.Minute}
-	obs := a.observations()
+	store := a.idx.store
 	out := SeedingBehaviour{
 		AvgSeedTimeHours: map[string]stats.FiveNum{},
 		AvgParallel:      map[string]stats.FiveNum{},
 		SessionHours:     map[string]stats.FiveNum{},
 		Covered:          map[string]int{},
 	}
+	// Scratch reused across users: a torrent-membership stamp array (epoch
+	// per user, no per-user set maps) and the user's (torrent, time) pairs
+	// gathered from its IPs' pre-inverted observation lists — the walk
+	// touches only the publisher's own sightings, never the full spans of
+	// the torrents it fed.
+	type pair struct {
+		tid  int32
+		atNs int64
+	}
+	stamp := make([]int32, a.idx.maxTID+1)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	epoch := int32(-1)
+	var pairs []pair
+	var sightings []time.Time
 	for _, label := range GroupNames {
 		var seedTimes, parallels, sessionTotals []float64
 		covered := 0
 		for _, u := range a.groupMembers(label) {
-			if len(u.IPs) == 0 {
+			// An identified IP the tracker never returned cannot match any
+			// observation, so users absent from the index are skipped
+			// exactly as their empty scans were.
+			ipset := a.idx.userIPIdx[u.Username]
+			if len(ipset) == 0 {
 				continue
 			}
-			ipset := map[string]bool{}
-			for _, ip := range u.IPs {
-				ipset[ip] = true
+			epoch++
+			for _, tid := range u.TorrentIDs {
+				if tid >= 0 && tid < len(stamp) {
+					stamp[tid] = epoch
+				}
 			}
+			pairs = pairs[:0]
+			for _, ipx := range ipset {
+				for _, oi := range a.idx.ipSpan(ipx) {
+					if tid := store.TorrentID(int(oi)); tid < len(stamp) && stamp[tid] == epoch {
+						pairs = append(pairs, pair{int32(tid), store.UnixNano(int(oi))})
+					}
+				}
+			}
+			if len(pairs) == 0 {
+				continue
+			}
+			slices.SortFunc(pairs, func(x, y pair) int {
+				if x.tid != y.tid {
+					return int(x.tid) - int(y.tid)
+				}
+				switch {
+				case x.atNs < y.atNs:
+					return -1
+				case x.atNs > y.atNs:
+					return 1
+				}
+				return 0
+			})
 			var perTorrent [][]sessions.Session
 			var all []sessions.Session
 			var torrentHours []float64
-			for _, tid := range u.TorrentIDs {
-				var sightings []time.Time
-				for _, o := range obs[tid] {
-					if ipset[o.IP] {
-						sightings = append(sightings, o.At)
-					}
+			for lo := 0; lo < len(pairs); {
+				hi := lo + 1
+				for hi < len(pairs) && pairs[hi].tid == pairs[lo].tid {
+					hi++
 				}
-				if len(sightings) == 0 {
-					continue
+				sightings = sightings[:0]
+				for _, p := range pairs[lo:hi] {
+					sightings = append(sightings, time.Unix(0, p.atNs).UTC())
 				}
-				ss := est.Stitch(sightings)
+				ss := est.StitchSorted(sightings)
 				perTorrent = append(perTorrent, ss)
 				all = append(all, ss...)
 				torrentHours = append(torrentHours, sessions.TotalDuration(ss).Hours())
-			}
-			if len(perTorrent) == 0 {
-				continue
+				lo = hi
 			}
 			covered++
 			seedTimes = append(seedTimes, stats.Mean(torrentHours))
@@ -413,23 +392,11 @@ type HostingIncome struct {
 
 // HostingIncomeFor computes the estimate at the paper's 300 EUR/month.
 func (a *Analysis) HostingIncomeFor(isp string) HostingIncome {
-	servers := map[string]bool{}
-	for _, rec := range a.DS.Torrents {
-		if rec.PublisherIP == "" {
-			continue
-		}
-		addr, err := dataset.ParseIP(rec.PublisherIP)
-		if err != nil {
-			continue
-		}
-		if r, err := a.DB.Lookup(addr); err == nil && r.ISP == isp {
-			servers[rec.PublisherIP] = true
-		}
-	}
+	servers := a.idx.hostingServers[isp]
 	return HostingIncome{
 		ISP:              isp,
-		PublisherServers: len(servers),
-		MonthlyEUR:       float64(len(servers)) * 300,
+		PublisherServers: servers,
+		MonthlyEUR:       float64(servers) * 300,
 	}
 }
 
@@ -456,7 +423,7 @@ func (a *Analysis) Summary() DatasetSummary {
 		TorrentsUsername:  a.DS.TorrentsWithUsername(),
 		TorrentsIP:        a.DS.TorrentsWithIP(),
 		DistinctIPs:       a.DS.DistinctIPs(),
-		TotalObservations: len(a.DS.Observations),
+		TotalObservations: a.DS.NumObservations(),
 	}
 }
 

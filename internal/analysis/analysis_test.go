@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"btpub/internal/analysis"
 	"btpub/internal/campaign"
 	"btpub/internal/classify"
+	"btpub/internal/dataset"
 	"btpub/internal/geoip"
 	"btpub/internal/webmon"
 )
@@ -127,6 +129,38 @@ func TestCrossAnalysisShape(t *testing.T) {
 	t.Logf("§3.3: multiUserIP=%.2f single=%.2f pool=%.2f(%.1f IPs) dyn=%.2f(%.1f) multi=%.2f(%.1f)",
 		ca.MultiUserIPShare, ca.SingleIPShare, ca.HostingPoolShare, ca.HostingPoolAvgIPs,
 		ca.DynamicShare, ca.DynamicAvgIPs, ca.MultiISPShare, ca.MultiISPAvgIPs)
+}
+
+// TestContentTypesEmptyGroupIsNaNFree pins the divide-by-zero guard: a
+// group with no torrents must yield an empty share map, never NaN shares.
+func TestContentTypesEmptyGroupIsNaNFree(t *testing.T) {
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &dataset.Dataset{Name: "tiny",
+		Start: time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2010, 5, 6, 0, 0, 0, 0, time.UTC)}
+	ds.AddTorrent(&dataset.TorrentRecord{
+		TorrentID: 0, InfoHash: strings.Repeat("ab", 20), Username: "alice",
+		Category: "Video > Movies", Published: ds.Start.Add(time.Hour),
+	})
+	a, err := analysis.New(ds, db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := a.ContentTypes()
+	// One genuine user: the Fake group (among others) is empty.
+	if len(types["Fake"]) != 0 {
+		t.Fatalf("empty group produced shares: %+v", types["Fake"])
+	}
+	for g, shares := range types {
+		for cat, v := range shares {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("group %s category %s share = %v", g, cat, v)
+			}
+		}
+	}
 }
 
 func TestContentTypesShape(t *testing.T) {

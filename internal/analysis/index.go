@@ -1,0 +1,227 @@
+// The immutable one-pass index behind every table and figure. analysis.New
+// builds it once: per-torrent observation spans (via the dataset's
+// counting-sort index), a per-IP inversion of the same columns for the
+// seeding estimator, publisher geo records resolved exactly once, and the
+// ISP aggregates of Tables 2–3 and Section 6. The per-call map rebuilds
+// and ParseIP+Lookup loops the first version of this package did on every
+// invocation are gone — consumers only walk flat slices.
+package analysis
+
+import (
+	"net/netip"
+	"slices"
+	"strings"
+
+	"btpub/internal/classify"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+)
+
+// pubInfo is one torrent's pre-resolved publisher address, aligned with
+// the DS.Torrents slice (not torrent IDs, which may be sparse in
+// hand-built datasets).
+type pubInfo struct {
+	ip      string
+	addr    netip.Addr
+	slash16 uint32
+	rec     geoip.Record
+	geoOK   bool // rec is valid (address parsed and found in the DB)
+	v4      bool // slash16 is valid
+}
+
+// index is the pre-computed, read-only view shared by all analysis calls.
+type index struct {
+	store *dataset.ObsStore
+	obsIx *dataset.ObsIndex
+	pub   []pubInfo
+
+	// ipStarts/ipOrder invert the observation columns by interned IP:
+	// observations of IP i are ipOrder[ipStarts[i]:ipStarts[i+1]], in time
+	// order. The seeding estimator walks a publisher's own sightings
+	// instead of scanning every observation of every torrent it fed.
+	ipStarts []int32
+	ipOrder  []int32
+
+	// userIPIdx maps a username to the intern-table indices of its
+	// identified publisher IPs (only those actually observed; an IP never
+	// seen by the tracker cannot match any observation).
+	userIPIdx map[string][]uint32
+
+	// maxTID is the dataset's largest torrent ID (capacity for stamp
+	// arrays).
+	maxTID int
+
+	// ispRows is Table 2 fully computed and sorted (ISPTable truncates).
+	ispRows []ISPRow
+	// contrast holds each ISP's Table 3 footprint.
+	contrast map[string]ISPContrast
+	// hostingServers counts distinct publisher IPs per ISP (Section 6).
+	hostingServers map[string]int
+}
+
+// buildIndex resolves everything the analysis consumers re-derived per
+// call in the row-of-structs era.
+func buildIndex(ds *dataset.Dataset, db *geoip.DB, facts *classify.Facts) *index {
+	store := &ds.Obs
+	ix := &index{
+		store:     store,
+		obsIx:     store.Index(),
+		pub:       make([]pubInfo, len(ds.Torrents)),
+		userIPIdx: make(map[string][]uint32, len(facts.Users)),
+		maxTID:    ix0MaxTID(ds),
+	}
+	ix.buildPub(ds, db)
+	ix.buildIPOrder()
+	ix.buildISPAggregates()
+	ips := store.IPs()
+	for name, u := range facts.Users {
+		if len(u.IPs) == 0 {
+			continue
+		}
+		var idxs []uint32
+		for _, ip := range u.IPs {
+			if i, ok := ips.Lookup(ip); ok {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			ix.userIPIdx[name] = idxs
+		}
+	}
+	return ix
+}
+
+func ix0MaxTID(ds *dataset.Dataset) int {
+	m := -1
+	for _, t := range ds.Torrents {
+		if t.TorrentID > m {
+			m = t.TorrentID
+		}
+	}
+	if n := ds.Obs.Index().Torrents() - 1; n > m {
+		m = n
+	}
+	return m
+}
+
+// buildPub parses and geo-resolves each torrent's publisher address once,
+// memoized per distinct address.
+func (ix *index) buildPub(ds *dataset.Dataset, db *geoip.DB) {
+	type geoMemo struct {
+		rec geoip.Record
+		ok  bool
+	}
+	memo := map[string]geoMemo{}
+	for i, rec := range ds.Torrents {
+		if rec.PublisherIP == "" {
+			continue
+		}
+		p := &ix.pub[i]
+		p.ip = rec.PublisherIP
+		addr, err := dataset.ParseIP(rec.PublisherIP)
+		if err != nil {
+			continue
+		}
+		p.addr = addr
+		if s16, err := geoip.Slash16(addr); err == nil {
+			p.slash16 = s16
+			p.v4 = true
+		}
+		m, ok := memo[rec.PublisherIP]
+		if !ok {
+			m.rec, err = db.Lookup(addr)
+			m.ok = err == nil
+			memo[rec.PublisherIP] = m
+		}
+		p.rec, p.geoOK = m.rec, m.ok
+	}
+}
+
+// buildIPOrder counting-sorts observation indices by interned IP,
+// preserving time order within each IP.
+func (ix *index) buildIPOrder() {
+	s := ix.store
+	n := s.Len()
+	nIPs := s.IPs().Len()
+	starts := make([]int32, nIPs+1)
+	for i := 0; i < n; i++ {
+		starts[s.IPIndex(i)+1]++
+	}
+	for i := 1; i <= nIPs; i++ {
+		starts[i] += starts[i-1]
+	}
+	order := make([]int32, n)
+	next := make([]int32, nIPs)
+	copy(next, starts[:nIPs])
+	for i := 0; i < n; i++ {
+		ip := s.IPIndex(i)
+		order[next[ip]] = int32(i)
+		next[ip]++
+	}
+	ix.ipStarts, ix.ipOrder = starts, order
+}
+
+// ipSpan returns the time-ordered observation indices of interned IP i.
+func (ix *index) ipSpan(i uint32) []int32 {
+	return ix.ipOrder[ix.ipStarts[i]:ix.ipStarts[i+1]]
+}
+
+// buildISPAggregates derives Table 2, Table 3 and the Section 6 server
+// counts from the resolved publisher records in one pass.
+func (ix *index) buildISPAggregates() {
+	counts := map[string]int{}
+	types := map[string]geoip.ISPType{}
+	total := 0
+	ipSets := map[string]map[string]bool{}
+	prefixSets := map[string]map[uint32]bool{}
+	locSets := map[string]map[string]bool{}
+	for i := range ix.pub {
+		p := &ix.pub[i]
+		if !p.geoOK {
+			continue
+		}
+		isp := p.rec.ISP
+		counts[isp]++
+		types[isp] = p.rec.Type
+		total++
+		if ipSets[isp] == nil {
+			ipSets[isp] = map[string]bool{}
+			prefixSets[isp] = map[uint32]bool{}
+			locSets[isp] = map[string]bool{}
+		}
+		ipSets[isp][p.ip] = true
+		if p.v4 {
+			prefixSets[isp][p.slash16] = true
+		}
+		locSets[isp][p.rec.Country+"/"+p.rec.City] = true
+	}
+	ix.ispRows = make([]ISPRow, 0, len(counts))
+	for isp, n := range counts {
+		ix.ispRows = append(ix.ispRows, ISPRow{
+			ISP:     isp,
+			Type:    types[isp],
+			Percent: 100 * float64(n) / float64(total),
+		})
+	}
+	slices.SortFunc(ix.ispRows, func(a, b ISPRow) int {
+		if a.Percent != b.Percent {
+			if a.Percent > b.Percent {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.ISP, b.ISP)
+	})
+	ix.contrast = make(map[string]ISPContrast, len(counts))
+	ix.hostingServers = make(map[string]int, len(counts))
+	for isp, n := range counts {
+		ix.contrast[isp] = ISPContrast{
+			ISP:          isp,
+			FedTorrents:  n,
+			IPAddresses:  len(ipSets[isp]),
+			Slash16s:     len(prefixSets[isp]),
+			GeoLocations: len(locSets[isp]),
+		}
+		ix.hostingServers[isp] = len(ipSets[isp])
+	}
+}

@@ -193,10 +193,10 @@ func TestUserSweepSeparatesSuspendedAccounts(t *testing.T) {
 func TestObservationVolumeReasonable(t *testing.T) {
 	res := run(t, PB10)
 	ds := res.Dataset
-	if len(ds.Observations) == 0 {
+	if ds.NumObservations() == 0 {
 		t.Fatal("no observations")
 	}
-	perTorrent := float64(len(ds.Observations)) / float64(len(ds.Torrents))
+	perTorrent := float64(ds.NumObservations()) / float64(len(ds.Torrents))
 	if perTorrent < 5 {
 		t.Fatalf("%.1f observations per torrent — sampling broken?", perTorrent)
 	}
@@ -255,11 +255,13 @@ func TestCrawlObservedDownloadSharesRoughlyMatchGroundTruth(t *testing.T) {
 		classOf[rec.TorrentID] = res.World.Publishers[res.World.Torrents[id].PublisherID].Class
 	}
 	distinct := map[int]map[string]bool{}
-	for _, o := range res.Dataset.Observations {
-		if distinct[o.TorrentID] == nil {
-			distinct[o.TorrentID] = map[string]bool{}
+	obs := &res.Dataset.Obs
+	for i := 0; i < obs.Len(); i++ {
+		tid := obs.TorrentID(i)
+		if distinct[tid] == nil {
+			distinct[tid] = map[string]bool{}
 		}
-		distinct[o.TorrentID][o.IP] = true
+		distinct[tid][obs.IPString(i)] = true
 	}
 	byClass := map[population.Class]float64{}
 	total := 0.0

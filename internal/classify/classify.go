@@ -68,19 +68,13 @@ func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
 		ByIP:               map[string][]string{},
 		DownloadsByTorrent: map[int]int{},
 	}
-	// Distinct downloader IPs per torrent.
-	perTorrent := map[int]map[string]struct{}{}
-	for _, o := range ds.Observations {
-		m := perTorrent[o.TorrentID]
-		if m == nil {
-			m = map[string]struct{}{}
-			perTorrent[o.TorrentID] = m
+	// Distinct downloader IPs per torrent: one pass over the columnar
+	// store's per-torrent index, no per-torrent set maps.
+	for tid, n := range ds.Obs.DistinctIPCounts() {
+		if n > 0 {
+			f.DownloadsByTorrent[tid] = n
+			f.TotalDownloads += n
 		}
-		m[o.IP] = struct{}{}
-	}
-	for tid, ips := range perTorrent {
-		f.DownloadsByTorrent[tid] = len(ips)
-		f.TotalDownloads += len(ips)
 	}
 
 	users := ds.UserByName()

@@ -187,9 +187,19 @@ func (c *counterSet) snapshot() Counters {
 // Worker pool: one queue per vantage, Workers goroutines each
 // ---------------------------------------------------------------------
 
+// poolJob is one announce for one torrent, passed to a vantage worker as
+// plain fields — a closure per query showed up as a top campaign
+// allocator. fn overrides the typed form for ad-hoc work (tests). done is
+// buffered (the worker never blocks on completion signalling) and pooled
+// across queries.
 type poolJob struct {
-	fn   func(ctx context.Context)
-	done chan struct{}
+	c       *Crawler
+	now     time.Time
+	st      *torrentState
+	vantage int
+	first   bool
+	fn      func(context.Context)
+	done    chan struct{}
 }
 
 // workerPool bounds concurrent announce/probe work. Each vantage owns a
@@ -204,11 +214,13 @@ type workerPool struct {
 	cancel context.CancelFunc
 	queues []chan poolJob
 	wg     sync.WaitGroup
+	done   sync.Pool // of chan struct{}, buffered 1
 }
 
 func newWorkerPool(vantages, workersPerVantage int) *workerPool {
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &workerPool{ctx: ctx, cancel: cancel, queues: make([]chan poolJob, vantages)}
+	p.done.New = func() any { return make(chan struct{}, 1) }
 	for v := range p.queues {
 		q := make(chan poolJob)
 		p.queues[v] = q
@@ -219,8 +231,12 @@ func newWorkerPool(vantages, workersPerVantage int) *workerPool {
 				for {
 					select {
 					case job := <-q:
-						job.fn(ctx)
-						close(job.done)
+						if job.fn != nil {
+							job.fn(ctx)
+						} else {
+							job.c.announceOnce(ctx, job.now, job.st, job.vantage, job.first)
+						}
+						job.done <- struct{}{}
 					case <-ctx.Done():
 						return
 					}
@@ -231,20 +247,36 @@ func newWorkerPool(vantages, workersPerVantage int) *workerPool {
 	return p
 }
 
-// submit runs fn on the vantage's worker queue and waits for completion.
-// It reports false when the pool closed before the job could finish.
+// submitAnnounce runs one announce on the vantage's worker queue and waits
+// for completion. It reports false when the pool closed before the job
+// could finish.
+func (p *workerPool) submitAnnounce(c *Crawler, now time.Time, st *torrentState, vantage int, first bool) bool {
+	return p.run(poolJob{c: c, now: now, st: st, vantage: vantage, first: first})
+}
+
+// submit runs an arbitrary function on the vantage's worker queue and
+// waits for it (ad-hoc work and tests; announces take submitAnnounce).
 func (p *workerPool) submit(vantage int, fn func(ctx context.Context)) bool {
-	job := poolJob{fn: fn, done: make(chan struct{})}
-	q := p.queues[vantage%len(p.queues)]
+	return p.run(poolJob{vantage: vantage, fn: fn})
+}
+
+func (p *workerPool) run(job poolJob) bool {
+	done := p.done.Get().(chan struct{})
+	job.done = done
+	q := p.queues[job.vantage%len(p.queues)]
 	select {
 	case q <- job:
 	case <-p.ctx.Done():
+		p.done.Put(done)
 		return false
 	}
 	select {
-	case <-job.done:
+	case <-done:
+		p.done.Put(done)
 		return true
 	case <-p.ctx.Done():
+		// The worker may still signal done later; the buffered channel is
+		// abandoned to the GC rather than repooled with a stale signal.
 		return false
 	}
 }
@@ -398,7 +430,14 @@ func (c *Crawler) handleNewTorrent(now time.Time, item *portal.FeedItem) {
 		announce:  mi.Announce,
 		ih:        ih,
 		numPieces: mi.Info.NumPieces(),
-		lastSeen:  map[string]time.Time{},
+		lastSeen:  map[netip.Addr]time.Time{},
+	}
+	// One requery callback per vantage for the whole monitoring lifetime;
+	// per-query closures were a top campaign allocator.
+	st.requery = make([]func(time.Time), c.cfg.Vantages)
+	for v := range st.requery {
+		v := v
+		st.requery[v] = func(t time.Time) { c.queryTracker(t, st, v, false) }
 	}
 	// First contact immediately, from vantage 0.
 	c.queryTracker(now, st, 0, true)
@@ -407,15 +446,10 @@ func (c *Crawler) handleNewTorrent(now time.Time, item *portal.FeedItem) {
 	}
 	// Staggered periodic queries from every vantage.
 	for v := 1; v < c.cfg.Vantages; v++ {
-		v := v
 		offset := time.Duration(v) * c.cfg.QueryInterval / time.Duration(c.cfg.Vantages)
-		c.driver.Schedule(now.Add(offset), func(t time.Time) {
-			c.queryTracker(t, st, v, false)
-		})
+		c.driver.Schedule(now.Add(offset), st.requery[v])
 	}
-	c.driver.Schedule(now.Add(c.cfg.QueryInterval), func(t time.Time) {
-		c.queryTracker(t, st, 0, false)
-	})
+	c.driver.Schedule(now.Add(c.cfg.QueryInterval), st.requery[0])
 }
 
 // torrentState is the per-torrent monitoring state.
@@ -424,12 +458,16 @@ type torrentState struct {
 	announce  string
 	ih        metainfo.Hash
 	numPieces int
+	// requery holds the per-vantage reschedule callbacks, allocated once.
+	requery []func(time.Time)
 
 	mu        sync.Mutex
 	empty     int
 	stopped   bool
 	firstDone bool
-	lastSeen  map[string]time.Time
+	// lastSeen is keyed by the parsed address: dedup never needs the
+	// string form, so repeat sightings cost no allocation.
+	lastSeen map[netip.Addr]time.Time
 }
 
 // queryTracker hands one announce for one torrent to the vantage's worker
@@ -445,9 +483,14 @@ func (c *Crawler) queryTracker(now time.Time, st *torrentState, vantage int, fir
 		return
 	}
 	st.mu.Unlock()
-	c.pool.submit(vantage, func(ctx context.Context) {
-		c.announceOnce(ctx, now, st, vantage, first)
-	})
+	c.pool.submitAnnounce(c, now, st, vantage, first)
+}
+
+// reschedule books the vantage's next query slot for the torrent.
+func (c *Crawler) reschedule(now time.Time, st *torrentState, vantage int) {
+	if !c.cfg.SingleShot {
+		c.driver.Schedule(now.Add(c.cfg.QueryInterval), st.requery[vantage])
+	}
 }
 
 // announceOnce performs the announce on a pool worker and schedules the
@@ -456,24 +499,16 @@ func (c *Crawler) announceOnce(ctx context.Context, now time.Time, st *torrentSt
 	resp, err := c.tracker.Announce(ctx, st.announce, st.ih, vantage, c.cfg.NumWant)
 	c.ctr.trackerQueries.Add(1)
 
-	reschedule := func() {
-		if !c.cfg.SingleShot {
-			c.driver.Schedule(now.Add(c.cfg.QueryInterval), func(t time.Time) {
-				c.queryTracker(t, st, vantage, false)
-			})
-		}
-	}
-
 	if err != nil {
 		var fe *tracker.ErrFailure
 		if errors.As(err, &fe) && fe.IsRateLimited() || errors.Is(err, tracker.ErrTooSoon) {
 			c.ctr.rateLimited.Add(1)
-			reschedule()
+			c.reschedule(now, st, vantage)
 			return
 		}
 		// Unknown swarm or transport failure: count toward the stop rule.
 		c.noteEmpty(st)
-		reschedule()
+		c.reschedule(now, st, vantage)
 		return
 	}
 
@@ -497,31 +532,28 @@ func (c *Crawler) announceOnce(ctx context.Context, now time.Time, st *torrentSt
 
 	if len(resp.Peers) == 0 {
 		c.noteEmpty(st)
-		reschedule()
+		c.reschedule(now, st, vantage)
 		return
 	}
 	st.mu.Lock()
 	st.empty = 0
 	fresh := resp.Peers[:0]
 	for _, p := range resp.Peers {
-		key := p.IP.String()
-		if last, ok := st.lastSeen[key]; ok && now.Sub(last) < c.cfg.DedupWindow {
+		if last, ok := st.lastSeen[p.IP]; ok && now.Sub(last) < c.cfg.DedupWindow {
 			continue
 		}
-		st.lastSeen[key] = now
+		st.lastSeen[p.IP] = now
 		fresh = append(fresh, p)
 	}
 	st.mu.Unlock()
 	c.mu.Lock()
 	for _, p := range fresh {
-		c.ds.AddObservation(dataset.Observation{
-			TorrentID: st.rec.TorrentID,
-			IP:        p.IP.String(),
-			At:        now,
-		})
+		// Columnar append: the address string is computed only the first
+		// time this crawler sees the IP, then shared via the intern table.
+		c.ds.Obs.AppendAddr(st.rec.TorrentID, p.IP, now, false)
 	}
 	c.mu.Unlock()
-	reschedule()
+	c.reschedule(now, st, vantage)
 }
 
 // noteEmpty advances the 10-consecutive-empty-replies stop rule.
@@ -562,12 +594,7 @@ func (c *Crawler) identifySeeder(ctx context.Context, st *torrentState, peers []
 		c.ctr.publishersByIP.Add(1)
 		c.mu.Lock()
 		st.rec.PublisherIP = seederIP.String()
-		c.ds.AddObservation(dataset.Observation{
-			TorrentID: st.rec.TorrentID,
-			IP:        seederIP.String(),
-			At:        c.driver.Now(),
-			Seeder:    true,
-		})
+		c.ds.Obs.AppendAddr(st.rec.TorrentID, seederIP, c.driver.Now(), true)
 		c.mu.Unlock()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 	"time"
 
 	"btpub/internal/metainfo"
@@ -44,13 +45,21 @@ func (RealDriver) Schedule(at time.Time, fn func(now time.Time)) {
 
 // InProcessPortal adapts a *portal.Portal without sockets. The rendering
 // and scraping codepaths are still exercised: the feed is generated as XML
-// and parsed back, pages are rendered to HTML and scraped.
+// and parsed back, pages are rendered to HTML and scraped. Because the
+// crawler polls far more often than the portal changes, the parsed feed is
+// cached against the portal's revision counter — the XML round-trip only
+// happens when the index actually changed.
 type InProcessPortal struct {
 	P *portal.Portal
 	// BaseURL appears in generated links (default "http://portal.sim").
 	BaseURL string
 	// Window is the RSS window size (default portal.DefaultRSSWindow).
 	Window int
+
+	mu       sync.Mutex
+	cacheRev uint64
+	cacheOK  bool
+	cached   []portal.FeedItem
 }
 
 func (c *InProcessPortal) base() string {
@@ -60,8 +69,17 @@ func (c *InProcessPortal) base() string {
 	return c.BaseURL
 }
 
-// FetchRSS implements PortalClient.
+// FetchRSS implements PortalClient. Callers must not mutate the returned
+// items (the crawler copies each item it processes).
 func (c *InProcessPortal) FetchRSS(context.Context) ([]portal.FeedItem, error) {
+	rev := c.P.Revision()
+	c.mu.Lock()
+	if c.cacheOK && c.cacheRev == rev {
+		items := c.cached
+		c.mu.Unlock()
+		return items, nil
+	}
+	c.mu.Unlock()
 	w := c.Window
 	if w <= 0 {
 		w = portal.DefaultRSSWindow
@@ -70,7 +88,14 @@ func (c *InProcessPortal) FetchRSS(context.Context) ([]portal.FeedItem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return portal.ParseRSS(raw)
+	items, err := portal.ParseRSS(raw)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cacheRev, c.cacheOK, c.cached = rev, true, items
+	c.mu.Unlock()
+	return items, nil
 }
 
 // hashFromURL extracts the info-hash from /torrent/<hex>.torrent or

@@ -4,20 +4,22 @@
 // plus the time-stamped peer observations gathered from periodic tracker
 // queries.
 //
+// Observations — the bulk of any crawl — live in a columnar ObsStore with
+// interned addresses (see obsstore.go) instead of a slice of structs, so a
+// million sightings cost four flat columns and one string per distinct IP.
+//
 // Records persist as JSON Lines, one file per dataset, so large crawls
 // stream instead of loading a 300 GB blob the way the original study had
-// to.
+// to. The observation lines use hand-rolled encode/decode fast paths that
+// are byte-identical to the encoding/json output (see codec.go).
 package dataset
 
 import (
-	"bufio"
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
+	"log"
 	"net/netip"
-	"os"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 )
 
@@ -57,7 +59,8 @@ type TorrentRecord struct {
 	Removed bool `json:"removed,omitempty"`
 }
 
-// Observation is one sighting of one IP in one torrent's tracker reply.
+// Observation is one sighting of one IP in one torrent's tracker reply —
+// the logical record materialized from the columnar ObsStore.
 type Observation struct {
 	TorrentID int       `json:"t"`
 	IP        string    `json:"ip"`
@@ -84,9 +87,15 @@ type Dataset struct {
 	Start time.Time `json:"start"`
 	End   time.Time `json:"end"`
 
-	Torrents     []*TorrentRecord
-	Observations []Observation
-	Users        []UserRecord
+	Torrents []*TorrentRecord
+	// Obs holds the peer observations in columnar form.
+	Obs   ObsStore
+	Users []UserRecord
+
+	// DroppedObservations counts observations Merge discarded because
+	// their TorrentID matched no torrent record in the same part — a
+	// non-zero value means a shard produced inconsistent output.
+	DroppedObservations int
 }
 
 // UserByName indexes user records.
@@ -102,16 +111,16 @@ func (d *Dataset) UserByName() map[string]UserRecord {
 func (d *Dataset) AddTorrent(r *TorrentRecord) { d.Torrents = append(d.Torrents, r) }
 
 // AddObservation appends an observation.
-func (d *Dataset) AddObservation(o Observation) { d.Observations = append(d.Observations, o) }
+func (d *Dataset) AddObservation(o Observation) { d.Obs.Append(o) }
+
+// NumObservations returns the observation count.
+func (d *Dataset) NumObservations() int { return d.Obs.Len() }
 
 // DistinctIPs counts distinct observed addresses (the paper's Table 1
-// "#IP addresses" column).
+// "#IP addresses" column). With interned storage this is the intern-table
+// size — O(1) instead of a full map build.
 func (d *Dataset) DistinctIPs() int {
-	seen := make(map[string]struct{}, len(d.Observations)/4+1)
-	for _, o := range d.Observations {
-		seen[o.IP] = struct{}{}
-	}
-	return len(seen)
+	return d.Obs.IPs().Len()
 }
 
 // TorrentsWithUsername counts records with a username.
@@ -146,15 +155,21 @@ func (d *Dataset) ByTorrentID() map[int]*TorrentRecord {
 }
 
 // ObservationsByTorrent groups observations per torrent, each group sorted
-// by time.
+// by time. Kept for convenience; hot paths should walk ObsIndex spans
+// instead of materializing structs.
 func (d *Dataset) ObservationsByTorrent() map[int][]Observation {
+	ix := d.Obs.Index()
 	out := map[int][]Observation{}
-	for _, o := range d.Observations {
-		out[o.TorrentID] = append(out[o.TorrentID], o)
-	}
-	for id := range out {
-		obs := out[id]
-		sort.Slice(obs, func(i, j int) bool { return obs[i].At.Before(obs[j].At) })
+	for t := 0; t < ix.Torrents(); t++ {
+		span := ix.Span(t)
+		if len(span) == 0 {
+			continue
+		}
+		obs := make([]Observation, len(span))
+		for i, oi := range span {
+			obs[i] = d.Obs.At(int(oi))
+		}
+		out[t] = obs
 	}
 	return out
 }
@@ -168,6 +183,10 @@ func (d *Dataset) ObservationsByTorrent() map[int][]Observation {
 // serial one. Records are copied; the parts are left untouched. The window
 // stamps span the parts' (callers usually overwrite them with the campaign
 // window). Passing a single part canonicalises it.
+//
+// Observations whose TorrentID has no matching torrent record in their
+// part are counted in the result's DroppedObservations and logged — a
+// buggy shard cannot silently shrink a dataset.
 func Merge(name string, parts ...*Dataset) *Dataset {
 	out := &Dataset{Name: name}
 	type src struct {
@@ -186,51 +205,134 @@ func Merge(name string, parts ...*Dataset) *Dataset {
 			out.End = p.End
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].rec, all[j].rec
-		if !a.Published.Equal(b.Published) {
-			return a.Published.Before(b.Published)
+	slices.SortFunc(all, func(a, b src) int {
+		if c := a.rec.Published.Compare(b.rec.Published); c != 0 {
+			return c
 		}
-		return a.InfoHash < b.InfoHash
+		return strings.Compare(a.rec.InfoHash, b.rec.InfoHash)
 	})
 	// Renumber on copies and build each part's old->new ID map.
-	remap := make([]map[int]int, len(parts))
+	remap := make([]map[int]int32, len(parts))
 	for i := range remap {
-		remap[i] = map[int]int{}
+		remap[i] = map[int]int32{}
 	}
 	out.Torrents = make([]*TorrentRecord, len(all))
 	for newID, s := range all {
 		cp := *s.rec
-		remap[s.part][cp.TorrentID] = newID
+		remap[s.part][cp.TorrentID] = int32(newID)
 		cp.TorrentID = newID
 		out.Torrents[newID] = &cp
 	}
+	total := 0
+	for _, p := range parts {
+		total += p.Obs.Len()
+	}
+	out.Obs.grow(total)
+	dropped := 0
+	const unmapped = ^uint32(0)
 	for pi, p := range parts {
-		for _, o := range p.Observations {
-			if id, ok := remap[pi][o.TorrentID]; ok {
-				o.TorrentID = id
-				out.Observations = append(out.Observations, o)
+		// Remap the part's intern table lazily — one hash per distinct
+		// surviving address instead of one per observation, and addresses
+		// seen only in dropped observations never pollute the merged table
+		// (DistinctIPs counts surviving observations' addresses only).
+		ipMap := make([]uint32, p.Obs.IPs().Len())
+		for i := range ipMap {
+			ipMap[i] = unmapped
+		}
+		rm := remap[pi]
+		for i := 0; i < p.Obs.Len(); i++ {
+			id, ok := rm[p.Obs.TorrentID(i)]
+			if !ok {
+				dropped++
+				continue
 			}
+			pip := p.Obs.IPIndex(i)
+			mapped := ipMap[pip]
+			if mapped == unmapped {
+				mapped = out.Obs.ips.InternString(p.Obs.IPs().String(pip))
+				ipMap[pip] = mapped
+			}
+			out.Obs.appendRaw(id, mapped, p.Obs.UnixNano(i), p.Obs.Seeder(i))
 		}
 		out.Users = append(out.Users, p.Users...)
 	}
-	sort.Slice(out.Observations, func(i, j int) bool {
-		a, b := out.Observations[i], out.Observations[j]
-		if !a.At.Equal(b.At) {
-			return a.At.Before(b.At)
-		}
-		if a.TorrentID != b.TorrentID {
-			return a.TorrentID < b.TorrentID
-		}
-		if a.IP != b.IP {
-			return a.IP < b.IP
-		}
-		return !a.Seeder && b.Seeder
-	})
-	sort.Slice(out.Users, func(i, j int) bool {
-		return out.Users[i].Username < out.Users[j].Username
+	out.DroppedObservations = dropped
+	if dropped > 0 {
+		log.Printf("dataset: Merge(%q) dropped %d observations with no matching torrent record", name, dropped)
+	}
+	out.sortObservations()
+	slices.SortFunc(out.Users, func(a, b UserRecord) int {
+		return strings.Compare(a.Username, b.Username)
 	})
 	return out
+}
+
+// sortObservations orders the store by (At, TorrentID, IP string, Seeder)
+// — the canonical serialization order. The string tie-break is realised as
+// a precomputed rank over the intern table, so the comparator touches only
+// fixed-width integers.
+func (d *Dataset) sortObservations() {
+	s := &d.Obs
+	n := s.Len()
+	if n == 0 {
+		return
+	}
+	nIPs := s.ips.Len()
+	byStr := make([]uint32, nIPs)
+	for i := range byStr {
+		byStr[i] = uint32(i)
+	}
+	slices.SortFunc(byStr, func(a, b uint32) int {
+		return strings.Compare(s.ips.strs[a], s.ips.strs[b])
+	})
+	rank := make([]uint32, nIPs)
+	for pos, idx := range byStr {
+		rank[idx] = uint32(pos)
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	slices.SortFunc(perm, func(a, b int32) int {
+		if s.atNs[a] != s.atNs[b] {
+			if s.atNs[a] < s.atNs[b] {
+				return -1
+			}
+			return 1
+		}
+		if s.tids[a] != s.tids[b] {
+			return int(s.tids[a]) - int(s.tids[b])
+		}
+		if ra, rb := rank[s.ipIdx[a]], rank[s.ipIdx[b]]; ra != rb {
+			if ra < rb {
+				return -1
+			}
+			return 1
+		}
+		sa, sb := s.Seeder(int(a)), s.Seeder(int(b))
+		switch {
+		case sa == sb:
+			return 0
+		case sb:
+			return -1
+		default:
+			return 1
+		}
+	})
+	tids := make([]int32, n)
+	ipIdx := make([]uint32, n)
+	atNs := make([]int64, n)
+	seed := make([]uint64, (n+63)/64)
+	for to, from := range perm {
+		tids[to] = s.tids[from]
+		ipIdx[to] = s.ipIdx[from]
+		atNs[to] = s.atNs[from]
+		if s.Seeder(int(from)) {
+			seed[to>>6] |= 1 << (uint(to) & 63)
+		}
+	}
+	s.tids, s.ipIdx, s.atNs, s.seed = tids, ipIdx, atNs, seed
+	s.idx, s.idxLen = nil, 0
 }
 
 // ParseIP parses an observation/record address.
@@ -240,140 +342,4 @@ func ParseIP(s string) (netip.Addr, error) {
 		return netip.Addr{}, fmt.Errorf("dataset: bad IP %q: %w", s, err)
 	}
 	return addr, nil
-}
-
-// ---------------------------------------------------------------------
-// JSONL persistence: a header line, then one line per torrent record, then
-// one line per observation.
-// ---------------------------------------------------------------------
-
-type lineKind struct {
-	Kind string `json:"kind"`
-}
-
-type headerLine struct {
-	Kind  string    `json:"kind"`
-	Name  string    `json:"name"`
-	Start time.Time `json:"start"`
-	End   time.Time `json:"end"`
-}
-
-type torrentLine struct {
-	Kind string `json:"kind"`
-	*TorrentRecord
-}
-
-type obsLine struct {
-	Kind string `json:"kind"`
-	Observation
-}
-
-type userLine struct {
-	Kind string `json:"kind"`
-	UserRecord
-}
-
-// Write streams the dataset to w as JSON Lines.
-func (d *Dataset) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	enc := json.NewEncoder(bw)
-	if err := enc.Encode(headerLine{Kind: "header", Name: d.Name, Start: d.Start, End: d.End}); err != nil {
-		return err
-	}
-	for _, t := range d.Torrents {
-		if err := enc.Encode(torrentLine{Kind: "torrent", TorrentRecord: t}); err != nil {
-			return err
-		}
-	}
-	for _, o := range d.Observations {
-		if err := enc.Encode(obsLine{Kind: "obs", Observation: o}); err != nil {
-			return err
-		}
-	}
-	for _, u := range d.Users {
-		if err := enc.Encode(userLine{Kind: "user", UserRecord: u}); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
-
-// Read loads a dataset from JSONL.
-func Read(r io.Reader) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	d := &Dataset{}
-	sawHeader := false
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var k lineKind
-		if err := json.Unmarshal(line, &k); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
-		}
-		switch k.Kind {
-		case "header":
-			var h headerLine
-			if err := json.Unmarshal(line, &h); err != nil {
-				return nil, fmt.Errorf("dataset: header: %w", err)
-			}
-			d.Name, d.Start, d.End = h.Name, h.Start, h.End
-			sawHeader = true
-		case "torrent":
-			var t torrentLine
-			t.TorrentRecord = &TorrentRecord{}
-			if err := json.Unmarshal(line, &t); err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
-			}
-			d.Torrents = append(d.Torrents, t.TorrentRecord)
-		case "obs":
-			var o obsLine
-			if err := json.Unmarshal(line, &o); err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
-			}
-			d.Observations = append(d.Observations, o.Observation)
-		case "user":
-			var u userLine
-			if err := json.Unmarshal(line, &u); err != nil {
-				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
-			}
-			d.Users = append(d.Users, u.UserRecord)
-		default:
-			return nil, fmt.Errorf("dataset: line %d: unknown kind %q", lineNo, k.Kind)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if !sawHeader {
-		return nil, errors.New("dataset: missing header line")
-	}
-	return d, nil
-}
-
-// Save writes the dataset to a file.
-func (d *Dataset) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := d.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-// Load reads a dataset from a file.
-func Load(path string) (*Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return Read(f)
 }

@@ -48,14 +48,14 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if got.Name != d.Name || !got.Start.Equal(d.Start) || !got.End.Equal(d.End) {
 		t.Fatalf("header mismatch: %+v", got)
 	}
-	if len(got.Torrents) != 2 || len(got.Observations) != 4 {
-		t.Fatalf("sizes = %d/%d", len(got.Torrents), len(got.Observations))
+	if len(got.Torrents) != 2 || got.NumObservations() != 4 {
+		t.Fatalf("sizes = %d/%d", len(got.Torrents), got.NumObservations())
 	}
 	if !reflect.DeepEqual(got.Torrents[0], d.Torrents[0]) {
 		t.Fatalf("torrent record mismatch:\n%+v\n%+v", got.Torrents[0], d.Torrents[0])
 	}
-	if got.Observations[3] != d.Observations[3] {
-		t.Fatalf("observation mismatch")
+	if got.Obs.At(3) != d.Obs.At(3) {
+		t.Fatalf("observation mismatch: %+v vs %+v", got.Obs.At(3), d.Obs.At(3))
 	}
 }
 
@@ -147,7 +147,7 @@ func TestEmptyDatasetRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Torrents) != 0 || len(got.Observations) != 0 || got.Name != "empty" {
+	if len(got.Torrents) != 0 || got.NumObservations() != 0 || got.Name != "empty" {
 		t.Fatalf("round trip = %+v", got)
 	}
 }
@@ -168,8 +168,8 @@ func TestLargeDatasetStreamRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Torrents) != 500 || len(got.Observations) != 10000 {
-		t.Fatalf("sizes = %d/%d", len(got.Torrents), len(got.Observations))
+	if len(got.Torrents) != 500 || got.NumObservations() != 10000 {
+		t.Fatalf("sizes = %d/%d", len(got.Torrents), got.NumObservations())
 	}
 }
 
@@ -206,11 +206,11 @@ func TestMergeCanonicalOrderAndRemap(t *testing.T) {
 		id int
 		ip string
 	}{{0, "10.0.0.3"}, {1, "10.0.0.1"}, {2, "10.0.0.2"}}
-	if len(m.Observations) != len(wantObs) {
-		t.Fatalf("%d observations, want %d", len(m.Observations), len(wantObs))
+	if m.NumObservations() != len(wantObs) {
+		t.Fatalf("%d observations, want %d", m.NumObservations(), len(wantObs))
 	}
 	for i, want := range wantObs {
-		got := m.Observations[i]
+		got := m.Obs.At(i)
 		if got.TorrentID != want.id || got.IP != want.ip {
 			t.Fatalf("obs %d = {t%d %s}, want {t%d %s}", i, got.TorrentID, got.IP, want.id, want.ip)
 		}
@@ -240,8 +240,8 @@ func TestMergeSplitEqualsWhole(t *testing.T) {
 			part = b
 		}
 		cp.TorrentID = len(part.Torrents)
-		for _, o := range d.Observations {
-			if o.TorrentID == tr.TorrentID {
+		for i := 0; i < d.NumObservations(); i++ {
+			if o := d.Obs.At(i); o.TorrentID == tr.TorrentID {
 				o.TorrentID = cp.TorrentID
 				part.AddObservation(o)
 			}

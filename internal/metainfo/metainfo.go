@@ -10,6 +10,7 @@ import (
 	"crypto/sha1"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -147,8 +148,19 @@ func (b *Builder) Build() (*Torrent, error) {
 	}
 	n := int((b.Length + pl - 1) / pl)
 	pieces := make([]byte, 0, n*20)
+	// One reused buffer for the synthetic piece-hash input: a Sprintf plus
+	// a []byte conversion per piece dominated campaign allocations.
+	seedPrefix := make([]byte, 0, len(b.Name)+48)
+	seedPrefix = append(seedPrefix, b.Name...)
+	seedPrefix = append(seedPrefix, '|')
+	seedPrefix = strconv.AppendUint(seedPrefix, b.Seed, 10)
+	seedPrefix = append(seedPrefix, '|')
+	seedPrefix = strconv.AppendInt(seedPrefix, pl, 10)
+	seedPrefix = append(seedPrefix, '|')
+	buf := seedPrefix
 	for i := 0; i < n; i++ {
-		h := sha1.Sum([]byte(fmt.Sprintf("%s|%d|%d|%d", b.Name, b.Seed, pl, i)))
+		buf = strconv.AppendInt(buf[:len(seedPrefix)], int64(i), 10)
+		h := sha1.Sum(buf)
 		pieces = append(pieces, h[:]...)
 	}
 	t := &Torrent{

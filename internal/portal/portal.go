@@ -73,6 +73,16 @@ type Portal struct {
 	entries  []*Entry
 	byHash   map[metainfo.Hash]*Entry
 	accounts map[string]*Account
+	rev      uint64
+}
+
+// Revision reports a counter that changes whenever the portal's index
+// content changes (publish or takedown). Clients use it to cache derived
+// views — the RSS feed in particular — between mutations.
+func (p *Portal) Revision() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.rev
 }
 
 // New creates an empty portal on the given clock.
@@ -144,6 +154,7 @@ func (p *Portal) Publish(e *Entry) (int, error) {
 	p.entries = append(p.entries, e)
 	p.byHash[e.InfoHash] = e
 	acc.uploads = append(acc.uploads, e)
+	p.rev++
 	return e.ID, nil
 }
 
@@ -169,6 +180,7 @@ func (p *Portal) Remove(ih metainfo.Hash) error {
 		acc.Suspended = true
 		acc.SuspendedAt = now
 	}
+	p.rev++
 	return nil
 }
 

@@ -97,6 +97,16 @@ func (e Estimator) Stitch(sightings []time.Time) []Session {
 	}
 	ts := append([]time.Time(nil), sightings...)
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+	return e.StitchSorted(ts)
+}
+
+// StitchSorted is Stitch for sightings already in ascending order — the
+// analysis index walks time-ordered observation spans, so it skips the
+// copy and sort. The input is not retained.
+func (e Estimator) StitchSorted(ts []time.Time) []Session {
+	if len(ts) == 0 {
+		return nil
+	}
 	gap := e.Gap
 	if gap <= 0 {
 		gap = PaperThreshold()

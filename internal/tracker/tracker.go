@@ -136,8 +136,11 @@ func (t *Tracker) Announce(req *AnnounceRequest) (*AnnounceResponse, error) {
 		Seeders:     seeders,
 		Leechers:    leechers,
 	}
-	for _, m := range members {
-		resp.Peers = append(resp.Peers, PeerAddr{IP: m.IP, Port: peerPort(m.IP)})
+	if len(members) > 0 {
+		resp.Peers = make([]PeerAddr, len(members))
+		for i, m := range members {
+			resp.Peers[i] = PeerAddr{IP: m.IP, Port: peerPort(m.IP)}
+		}
 	}
 	return resp, nil
 }
