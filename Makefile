@@ -8,13 +8,14 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
 # The E1–E15 experiment suite (bench_test.go) plus the campaign engine
-# benchmarks.
+# and observation-lake benchmarks.
 ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable2ISP|BenchmarkTable3OVHComcast|BenchmarkSection33CrossAnalysis|BenchmarkFigure2ContentTypes|BenchmarkFigure3Popularity|BenchmarkFigure4aSeedingTime|BenchmarkFigure4bParallel|BenchmarkFigure4cSession|BenchmarkSection51Business|BenchmarkTable4Longitudinal|BenchmarkTable5Income|BenchmarkSection6OVH|BenchmarkAppendixAEstimator
 CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel
+LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: test bench bench-campaign bench-smoke fmt vet
+.PHONY: test bench bench-campaign bench-lake bench-smoke fmt vet
 
 test:
 	go build ./... && go test ./...
@@ -25,15 +26,22 @@ bench:
 	go test -run '^$$' -bench '$(ANALYSIS_BENCH)' -benchmem -timeout 60m . \
 		| go run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
 
-# The campaign engine benchmarks, with the allocation ceiling enforced —
-# the same gate CI runs.
+# The campaign engine benchmarks, with their allocation ceiling enforced
+# — the same gate CI runs.
 bench-campaign:
 	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)' -benchtime=2x -benchmem -timeout 60m . \
-		| go run ./cmd/benchjson -o BENCH_campaign_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt
+		| go run ./cmd/benchjson -o BENCH_campaign_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkCampaign'
 
-# One cheap 1x pass of the campaign benches + the alloc ceiling, for CI.
+# Lake ingest throughput + scan latency, with their allocation ceilings
+# enforced, recorded as BENCH_lake_<date>.json.
+bench-lake:
+	go test -run '^$$' -bench '$(LAKE_BENCH)' -benchtime=20x -benchmem -timeout 20m . \
+		| go run ./cmd/benchjson -o BENCH_lake_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkLake'
+
+# One cheap 1x pass of the campaign + lake benches with every alloc
+# ceiling enforced, for CI.
 bench-smoke:
-	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
+	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)|$(LAKE_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
 		| go run ./cmd/benchjson -ceilings ci/bench-ceilings.txt
 
 fmt:

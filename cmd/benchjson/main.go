@@ -9,7 +9,10 @@
 //
 // The ceilings file lists "BenchmarkName maxAllocsPerOp" pairs (# starts a
 // comment). A listed benchmark missing from the input is an error too, so
-// the gate cannot silently rot.
+// the gate cannot silently rot. -only restricts enforcement to ceiling
+// entries matching a regexp, so one shared ceilings file serves targets
+// that each run a subset of the gated benchmarks (e.g. `make bench-lake`
+// enforces only the ^BenchmarkLake entries).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,6 +49,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	ceilings := flag.String("ceilings", "", "allocs/op ceilings file to enforce")
+	only := flag.String("only", "", "regexp restricting which ceiling entries apply (default all)")
 	flag.Parse()
 
 	results, err := parseBench(os.Stdin)
@@ -72,7 +77,7 @@ func main() {
 		fatal(err)
 	}
 	if *ceilings != "" {
-		if err := enforceCeilings(*ceilings, results); err != nil {
+		if err := enforceCeilings(*ceilings, *only, results); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "benchjson: all alloc ceilings respected")
@@ -140,15 +145,22 @@ func baseName(s string) string {
 	return s
 }
 
-func enforceCeilings(path string, results []Result) error {
+func enforceCeilings(path, only string, results []Result) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	var onlyRe *regexp.Regexp
+	if only != "" {
+		if onlyRe, err = regexp.Compile(only); err != nil {
+			return fmt.Errorf("benchjson: bad -only regexp: %w", err)
+		}
 	}
 	byName := map[string]Result{}
 	for _, r := range results {
 		byName[r.Name] = r
 	}
+	enforced := 0
 	var violations []string
 	for ln, line := range strings.Split(string(data), "\n") {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
@@ -165,6 +177,10 @@ func enforceCeilings(path string, results []Result) error {
 		if err != nil {
 			return fmt.Errorf("benchjson: %s:%d: bad ceiling %q", path, ln+1, fields[1])
 		}
+		if onlyRe != nil && !onlyRe.MatchString(fields[0]) {
+			continue
+		}
+		enforced++
 		r, ok := byName[fields[0]]
 		if !ok {
 			violations = append(violations, fmt.Sprintf("%s: not present in benchmark output", fields[0]))
@@ -176,6 +192,11 @@ func enforceCeilings(path string, results []Result) error {
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("benchjson: allocation ceilings violated:\n  %s", strings.Join(violations, "\n  "))
+	}
+	if enforced == 0 {
+		// An -only filter that matches nothing would make the gate a
+		// silent no-op; fail loudly instead.
+		return fmt.Errorf("benchjson: no ceiling entries selected (ceilings %s, only %q)", path, only)
 	}
 	return nil
 }

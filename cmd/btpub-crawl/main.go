@@ -1,6 +1,11 @@
 // btpub-crawl runs the paper's measurement campaign against the simulated
 // ecosystem and writes the resulting dataset as JSON Lines, one of
-// mn08/pb09/pb10 style.
+// mn08/pb09/pb10 style. With -lake the campaign also persists into an
+// observation lake: serial runs (-shards 1) stream observations into it
+// live while crawling, sharded runs import the merged dataset afterwards,
+// and successive crawls into the same lake accumulate with offset
+// torrent IDs (the incremental-archive workflow of the follow-up
+// studies).
 package main
 
 import (
@@ -9,6 +14,7 @@ import (
 	"runtime"
 
 	"btpub/internal/campaign"
+	"btpub/internal/lake"
 )
 
 func main() {
@@ -18,7 +24,8 @@ func main() {
 	style := flag.String("style", "pb10", "dataset style: pb10, pb09 or mn08")
 	shards := flag.Int("shards", runtime.NumCPU(), "parallel world shards")
 	workers := flag.Int("workers", 2, "announce workers per crawler vantage")
-	out := flag.String("out", "", "output dataset path (default <style>.jsonl)")
+	out := flag.String("out", "", "output dataset path (default <style>.jsonl; \"-\" skips the JSONL)")
+	lakeDir := flag.String("lake", "", "also persist the campaign into this lake directory")
 	flag.Parse()
 
 	st, err := campaign.ParseStyle(*style)
@@ -29,15 +36,33 @@ func main() {
 	if path == "" {
 		path = *style + ".jsonl"
 	}
-	res, err := campaign.Run(campaign.Spec{
+	spec := campaign.Spec{
 		Scale: *scale, Seed: *seed, MeanDownloads: *md, Style: st,
 		Shards: *shards, Workers: *workers,
-	})
+	}
+	if *lakeDir != "" {
+		lk, err := lake.Open(*lakeDir, lake.Options{Compact: lake.CompactOptions{Auto: true}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := lk.Close(); err != nil {
+				log.Fatal(err)
+			}
+			ls := lk.Stats()
+			log.Printf("lake %s: v%d, %d segments, %d observations, %d torrents total",
+				*lakeDir, ls.Version, ls.Segments, ls.Observations, ls.Torrents)
+		}()
+		spec.Lake = lk
+	}
+	res, err := campaign.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := res.Dataset.Save(path); err != nil {
-		log.Fatal(err)
+	if path != "-" {
+		if err := res.Dataset.Save(path); err != nil {
+			log.Fatal(err)
+		}
 	}
 	stats := res.Stats()
 	log.Printf("%s: %d torrents (%d with IP), %d observations, %d distinct IPs, %d queries -> %s",

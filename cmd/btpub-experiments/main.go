@@ -51,9 +51,9 @@ func main() {
 
 func logRun(res *campaign.Result) {
 	st := res.Stats()
-	log.Printf("%s done in %v: %d torrents, %d tracker queries, %d observations, %d distinct IPs",
+	log.Printf("%s done in %v: %d torrents, %d tracker queries, %d observations (%d dropped at merge), %d distinct IPs",
 		res.Dataset.Name, res.Elapsed, st.TorrentsSeen, st.TrackerQueries,
-		res.Dataset.NumObservations(), res.Dataset.DistinctIPs())
+		res.Dataset.NumObservations(), res.Dataset.DroppedObservations, res.Dataset.DistinctIPs())
 }
 
 func writeReport(res *campaign.Result, out string) {
@@ -104,17 +104,18 @@ func runSweep(sweep, seedList string, scale float64, seed uint64, md float64, sh
 	results := campaign.RunMany(specs, budget)
 
 	var primary *campaign.Result
-	fmt.Printf("| dataset | torrents | with IP | observations | distinct IPs | queries | wall time |\n")
-	fmt.Printf("|---|---|---|---|---|---|---|\n")
+	fmt.Printf("| dataset | torrents | with IP | observations | dropped | distinct IPs | queries | wall time |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
 	for _, sr := range results {
 		if sr.Err != nil {
 			log.Fatalf("%s seed %d: %v", sr.Spec.Style, sr.Spec.Seed, sr.Err)
 		}
 		res := sr.Result
 		st := res.Stats()
-		fmt.Printf("| %s | %d | %d | %d | %d | %d | %v |\n",
+		fmt.Printf("| %s | %d | %d | %d | %d | %d | %d | %v |\n",
 			res.Dataset.Name, len(res.Dataset.Torrents), res.Dataset.TorrentsWithIP(),
-			res.Dataset.NumObservations(), res.Dataset.DistinctIPs(), st.TrackerQueries, res.Elapsed)
+			res.Dataset.NumObservations(), res.Dataset.DroppedObservations,
+			res.Dataset.DistinctIPs(), st.TrackerQueries, res.Elapsed)
 		if primary == nil && sr.Spec.Style == campaign.PB10 {
 			primary = res
 		}

@@ -1,9 +1,11 @@
 // btpub-monitor is the paper's Section 7 application: it monitors content
-// publishing (here: one simulated campaign), builds the publisher database
-// and serves the public query interface over HTTP.
+// publishing (here: one simulated campaign, or an existing observation
+// lake via -lake), builds the publisher database and serves the public
+// query interface over HTTP.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -11,6 +13,9 @@ import (
 
 	"btpub/internal/campaign"
 	"btpub/internal/classify"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
 	"btpub/internal/monitor"
 )
 
@@ -18,19 +23,39 @@ func main() {
 	scale := flag.Float64("scale", 0.01, "world scale for the monitored campaign")
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	addr := flag.String("http", "127.0.0.1:8812", "query interface address")
+	lakeDir := flag.String("lake", "", "build the publisher DB from this lake instead of running a campaign")
 	flag.Parse()
 
-	log.Printf("monitoring a pb10-style campaign at scale %.3f ...", *scale)
-	res, err := campaign.Run(campaign.Spec{Scale: *scale, Seed: *seed, MeanDownloads: 250})
+	var ds *dataset.Dataset
+	geo, err := geoip.DefaultDB()
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := monitor.NewDB(res.DB)
-	if err := db.IngestDataset(res.Dataset); err != nil {
+	if *lakeDir != "" {
+		lk, err := lake.Open(*lakeDir, lake.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err = lk.Materialize(context.Background(), lake.Predicate{})
+		lk.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("monitoring lake %s: %d torrents, %d observations", *lakeDir, len(ds.Torrents), ds.NumObservations())
+	} else {
+		log.Printf("monitoring a pb10-style campaign at scale %.3f ...", *scale)
+		res, err := campaign.Run(campaign.Spec{Scale: *scale, Seed: *seed, MeanDownloads: 250})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = res.Dataset
+	}
+	db := monitor.NewDB(geo)
+	if err := db.IngestDataset(ds); err != nil {
 		log.Fatal(err)
 	}
 	// Attach promoted URLs (the per-publisher business view of Section 7).
-	for _, rec := range res.Dataset.Torrents {
+	for _, rec := range ds.Torrents {
 		if url, _ := classify.ExtractPromo(rec); url != "" && rec.Username != "" {
 			_ = db.Ingest(monitor.Record{
 				Title: rec.Title, Username: rec.Username,

@@ -74,12 +74,43 @@
 // own sightings rather than every observation of every torrent it fed
 // (~14x on the Figure 4 benchmarks, ~100,000x on Table 1).
 //
+// # Observation lake + query server
+//
+// internal/lake is the persistent, append-only successor to loading one
+// JSONL file per run: writers (campaign.Run via Spec.Lake, the crawler
+// via its Config.Sink hook, JSONL imports) seal observations into
+// immutable columnar segment files — the ObsStore columns plus a
+// segment-local intern table, per-segment zone maps (min/max time,
+// min/max torrent ID, 64-bit IP bloom) and a CRC-32C footer — under a
+// versioned manifest committed by atomic rename, so a crash at any
+// instant leaves the previous committed state (Open discards torn tmp
+// manifests, deletes orphans, and size-checks referenced segments;
+// Verify runs a full CRC pass). Scan prunes segments on the manifest's
+// zone maps alone and decodes survivors in parallel; a background
+// compactor folds small segments in the canonical Merge order while
+// concurrent readers keep their snapshot. Materialize canonicalises the
+// committed state back into a dataset.Dataset that is byte-identical to
+// the imported JSONL for any flush size and compaction history (golden
+// tests enforce this), and analysis.NewFromLake feeds it to the
+// index-once analysis.
+//
+// internal/lakeserve + cmd/btpub-serve expose the lake over HTTP while
+// writers append: analysis snapshots are cached per manifest version
+// (single-flight rebuild, stale-while-revalidate), so many concurrent
+// /tables requests over a live lake cost one index build per committed
+// version. Endpoints: /stats, /tables/{1,2,3}, /top-publishers,
+// /torrents/{id}/observations. Migration from JSONL:
+// `btpub-analyze -in pb10.jsonl -import pb10.lake`, thereafter
+// `btpub-analyze -lake pb10.lake` / `btpub-serve -lake pb10.lake`.
+//
 // The tier-1 gate is `go build ./... && go test ./...`; CI additionally
-// runs `go vet`, gofmt, the race detector, and a 1x smoke pass of
-// BenchmarkCampaignSerial/BenchmarkCampaignParallel whose allocs/op are
-// gated against a checked-in ceiling (ci/bench-ceilings.txt, enforced by
-// cmd/benchjson) so allocation regressions fail loudly. `make bench`
-// runs the E1–E15 suite with -benchmem and records BENCH_<date>.json for
-// the perf trajectory. See README.md for the shard/worker knobs on each
-// binary and the measured speedups.
+// runs `go vet`, gofmt, the race detector (including the lake's
+// reader-during-compaction tests), a dirty-working-tree check after the
+// tests, and a 1x smoke pass of the campaign and lake benchmarks whose
+// allocs/op are gated against checked-in ceilings
+// (ci/bench-ceilings.txt, enforced by cmd/benchjson) so allocation
+// regressions fail loudly. `make bench` runs the E1–E15 suite with
+// -benchmem and records BENCH_<date>.json for the perf trajectory;
+// `make bench-lake` does the same for lake ingest/scan. See README.md
+// for the shard/worker knobs on each binary and the measured speedups.
 package btpub

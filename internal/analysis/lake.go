@@ -1,0 +1,26 @@
+// Lake-backed analysis: instead of requiring the caller to hold a whole
+// JSONL dataset in memory, the analysis index can be built straight from
+// a persistent observation lake. Materialize streams the committed
+// segments through the lake's predicate scan and canonicalises with
+// dataset.Merge, so the resulting tables are byte-identical to the JSONL
+// path regardless of segment boundaries, flush sizes or compaction
+// history.
+package analysis
+
+import (
+	"context"
+
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+)
+
+// NewFromLake indexes the committed contents of a lake for analysis.
+// pred narrows the view (zero Predicate = everything); topK <= 0 picks
+// the paper's 3 % rule, as in New.
+func NewFromLake(ctx context.Context, lk *lake.Lake, db *geoip.DB, pred lake.Predicate, topK int) (*Analysis, error) {
+	ds, err := lk.Materialize(ctx, pred)
+	if err != nil {
+		return nil, err
+	}
+	return New(ds, db, topK)
+}

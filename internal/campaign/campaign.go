@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/netip"
 	"runtime"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"btpub/internal/dataset"
 	"btpub/internal/ecosystem"
 	"btpub/internal/geoip"
+	"btpub/internal/lake"
 	"btpub/internal/population"
 	"btpub/internal/simclock"
 	"btpub/internal/tracker"
@@ -96,6 +98,17 @@ type Spec struct {
 	// Workers sets each shard crawler's per-vantage announce worker count
 	// (0 = 1).
 	Workers int
+	// Lake, when non-nil, persists the campaign into the lake. A serial
+	// run (Shards <= 1) streams observations into the lake live while the
+	// crawl records them and commits torrent/user records at the end; a
+	// sharded run imports the merged dataset after the crawl (shard-local
+	// torrent IDs only become globally meaningful at merge). Either way
+	// torrent IDs are offset past the lake's existing contents, so
+	// successive campaigns accumulate instead of colliding. Campaigns
+	// sharing one lake must run sequentially or use Shards > 1: the
+	// import path reserves its ID range atomically, but two concurrent
+	// live streams would claim the same base.
+	Lake *lake.Lake
 }
 
 // ShardRun exposes one shard's live pipeline for ground-truth access.
@@ -183,6 +196,13 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 		name = spec.Style.String()
 	}
 
+	// A serial run can stream observations into the lake as the crawl
+	// records them (live ingest); sharded runs import after the merge.
+	var stream *lakeStream
+	if spec.Lake != nil && shards == 1 {
+		stream = &lakeStream{lk: spec.Lake, base: spec.Lake.NextTorrentID()}
+	}
+
 	runs := make([]ShardRun, shards)
 	parts := make([]*dataset.Dataset, shards)
 	errs := make([]error, shards)
@@ -193,7 +213,7 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 			defer wg.Done()
 			acquire()
 			defer release()
-			eco, cr, ds, err := runShard(spec, world, db, params.Seed, consumption, i, shards, end, name)
+			eco, cr, ds, err := runShard(spec, world, db, params.Seed, consumption, i, shards, end, name, stream)
 			runs[i] = ShardRun{Index: i, Eco: eco, Crawler: cr}
 			parts[i], errs[i] = ds, err
 		}(i)
@@ -208,6 +228,11 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 	ds := dataset.Merge(name, parts...)
 	ds.Start = world.Start
 	ds.End = end
+	if spec.Lake != nil {
+		if err := persistToLake(spec.Lake, stream, parts[0], ds); err != nil {
+			return nil, err
+		}
+	}
 	return &Result{
 		Spec:    spec,
 		Dataset: ds,
@@ -220,9 +245,66 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 	}, nil
 }
 
+// lakeStream adapts a lake writer to the crawler's observation sink: the
+// crawler's local torrent IDs are offset past the lake's existing
+// contents, and the first append error is kept for the end of the run
+// (the sink signature has no error path). Most appends are two interned
+// column pushes; every FlushRows-th append seals a segment (encode +
+// fsync + manifest commit) while the crawler holds its dataset lock —
+// a bounded, amortised stall accepted in exchange for the observations
+// being durable and servable mid-crawl.
+type lakeStream struct {
+	lk   *lake.Lake
+	base int
+
+	mu  sync.Mutex
+	err error
+}
+
+func (ls *lakeStream) sink(tid int, addr netip.Addr, at time.Time, seeder bool) {
+	if err := ls.lk.AppendAddr(ls.base+tid, addr, at, seeder); err != nil {
+		ls.mu.Lock()
+		if ls.err == nil {
+			ls.err = err
+		}
+		ls.mu.Unlock()
+	}
+}
+
+// persistToLake commits the finished campaign. With a live stream the
+// observations are already in the lake: only the final torrent/user
+// records (IDs offset like the streamed observations) and the campaign
+// window remain. Without one (sharded run) the merged dataset is
+// imported wholesale.
+func persistToLake(lk *lake.Lake, stream *lakeStream, raw, merged *dataset.Dataset) error {
+	if stream == nil {
+		return lk.ImportDataset(merged)
+	}
+	stream.mu.Lock()
+	err := stream.err
+	stream.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("campaign: lake stream: %w", err)
+	}
+	recs := make([]*dataset.TorrentRecord, len(raw.Torrents))
+	for i, t := range raw.Torrents {
+		cp := *t
+		cp.TorrentID += stream.base
+		recs[i] = &cp
+	}
+	if err := lk.AddTorrents(recs); err != nil {
+		return err
+	}
+	if err := lk.AddUsers(raw.Users); err != nil {
+		return err
+	}
+	lk.ExtendWindow(merged.Name, merged.Start, merged.End)
+	return lk.Flush()
+}
+
 // runShard stands up one shard's ecosystem, replays the campaign window on
 // the shard's private sim clock, and returns the shard dataset.
-func runShard(spec Spec, world *population.World, db *geoip.DB, seed uint64, consumption map[int][]ecosystem.ConsumptionEvent, index, count int, end time.Time, name string) (*ecosystem.Ecosystem, *crawler.Crawler, *dataset.Dataset, error) {
+func runShard(spec Spec, world *population.World, db *geoip.DB, seed uint64, consumption map[int][]ecosystem.ConsumptionEvent, index, count int, end time.Time, name string, stream *lakeStream) (*ecosystem.Ecosystem, *crawler.Crawler, *dataset.Dataset, error) {
 	clock := simclock.NewSim(world.Start)
 	eco, err := ecosystem.New(ecosystem.Config{
 		World:       world,
@@ -250,6 +332,9 @@ func runShard(spec Spec, world *population.World, db *geoip.DB, seed uint64, con
 		Vantages:        spec.Vantages,
 		Workers:         spec.Workers,
 		End:             end,
+	}
+	if stream != nil {
+		cfg.Sink = stream.sink
 	}
 	var prober ecosystem.Prober
 	if spec.Style != PB09 {

@@ -102,6 +102,12 @@ type Config struct {
 	// keeps dataset size proportional to distinct peer-sessions, not to
 	// query volume.
 	DedupWindow time.Duration
+	// Sink, when non-nil, mirrors every stored observation to an external
+	// consumer (e.g. a lake writer) at the moment it is recorded, in
+	// recording order. Called with the crawler's dataset lock held: it
+	// must be fast and must not call back into the crawler. TorrentIDs
+	// are crawler-local; callers offset them into a global space.
+	Sink func(tid int, addr netip.Addr, at time.Time, seeder bool)
 }
 
 func (c *Config) setDefaults() {
@@ -551,6 +557,9 @@ func (c *Crawler) announceOnce(ctx context.Context, now time.Time, st *torrentSt
 		// Columnar append: the address string is computed only the first
 		// time this crawler sees the IP, then shared via the intern table.
 		c.ds.Obs.AppendAddr(st.rec.TorrentID, p.IP, now, false)
+		if c.cfg.Sink != nil {
+			c.cfg.Sink(st.rec.TorrentID, p.IP, now, false)
+		}
 	}
 	c.mu.Unlock()
 	c.reschedule(now, st, vantage)
@@ -593,8 +602,12 @@ func (c *Crawler) identifySeeder(ctx context.Context, st *torrentState, peers []
 	if found == 1 {
 		c.ctr.publishersByIP.Add(1)
 		c.mu.Lock()
+		now := c.driver.Now()
 		st.rec.PublisherIP = seederIP.String()
-		c.ds.Obs.AppendAddr(st.rec.TorrentID, seederIP, c.driver.Now(), true)
+		c.ds.Obs.AppendAddr(st.rec.TorrentID, seederIP, now, true)
+		if c.cfg.Sink != nil {
+			c.cfg.Sink(st.rec.TorrentID, seederIP, now, true)
+		}
 		c.mu.Unlock()
 	}
 }

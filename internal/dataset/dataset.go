@@ -267,12 +267,15 @@ func Merge(name string, parts ...*Dataset) *Dataset {
 	return out
 }
 
-// sortObservations orders the store by (At, TorrentID, IP string, Seeder)
-// — the canonical serialization order. The string tie-break is realised as
-// a precomputed rank over the intern table, so the comparator touches only
-// fixed-width integers.
-func (d *Dataset) sortObservations() {
-	s := &d.Obs
+// sortObservations orders the store by the canonical serialization order.
+func (d *Dataset) sortObservations() { d.Obs.SortCanonical() }
+
+// SortCanonical orders the store by (At, TorrentID, IP string, Seeder) —
+// the canonical serialization order Merge establishes. The string
+// tie-break is realised as a precomputed rank over the intern table, so
+// the comparator touches only fixed-width integers. The lake compactor
+// reuses this ordering when folding small segments together.
+func (s *ObsStore) SortCanonical() {
 	n := s.Len()
 	if n == 0 {
 		return

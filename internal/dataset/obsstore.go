@@ -186,6 +186,18 @@ func (s *ObsStore) appendRaw(tid int32, ipIdx uint32, atNs int64, seeder bool) {
 	s.push(tid, ipIdx, atNs, seeder)
 }
 
+// AppendRaw adds an observation whose address is already interned in this
+// store's table — the bulk-transfer path for consumers (segment decoders,
+// lake materialization) that intern each distinct address once and then
+// append rows at column speed. ipIdx must come from this store's IPs()
+// table; out-of-range indices panic rather than corrupt the columns.
+func (s *ObsStore) AppendRaw(tid int32, ipIdx uint32, atNs int64, seeder bool) {
+	if int(ipIdx) >= s.ips.Len() {
+		panic(fmt.Sprintf("dataset: AppendRaw ipIdx %d outside intern table (len %d)", ipIdx, s.ips.Len()))
+	}
+	s.push(tid, ipIdx, atNs, seeder)
+}
+
 func (s *ObsStore) push(tid int32, ipIdx uint32, atNs int64, seeder bool) {
 	if tid < 0 {
 		// Torrent IDs are dense crawler-assigned sequence numbers; failing

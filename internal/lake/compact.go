@@ -1,0 +1,163 @@
+// Compaction folds small segments into big ones so a long-lived lake's
+// segment count stays bounded and scans stay cheap. Victim rows are
+// merged into one builder and sorted by dataset.ObsStore.SortCanonical —
+// the same (At, TorrentID, IP, Seeder) order dataset.Merge establishes —
+// so a compacted lake materializes identically to an uncompacted one.
+// Old files are retired from the manifest first and physically deleted
+// only when no scan holds them open.
+package lake
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// CompactOptions tunes the compactor.
+type CompactOptions struct {
+	// Auto runs compaction in the background after a flush leaves at
+	// least MinSegments undersized segments.
+	Auto bool
+	// MinSegments is the trigger count (default 8).
+	MinSegments int
+	// TargetRows is the size a segment must stay under to be a victim,
+	// and roughly the size of compacted output (default 1<<20).
+	TargetRows int
+}
+
+func (o *CompactOptions) setDefaults() {
+	if o.MinSegments <= 0 {
+		o.MinSegments = 8
+	}
+	if o.TargetRows <= 0 {
+		o.TargetRows = 1 << 20
+	}
+}
+
+// compactEligibleLocked reports whether enough undersized segments exist.
+func (lk *Lake) compactEligibleLocked() bool {
+	small := 0
+	for _, s := range lk.man.Segments {
+		if s.Rows < lk.opt.Compact.TargetRows {
+			small++
+		}
+	}
+	return small >= lk.opt.Compact.MinSegments
+}
+
+// startCompactLocked launches one background compaction if none is
+// running. Callers hold mu.
+func (lk *Lake) startCompactLocked() {
+	if !lk.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	lk.wg.Add(1)
+	go func() {
+		defer lk.wg.Done()
+		defer lk.compacting.Store(false)
+		_ = lk.compact()
+	}()
+}
+
+// Compact synchronously folds every undersized committed segment into
+// canonical-order output segments. Concurrent scans keep reading the old
+// segments until they finish; the files are deleted afterwards.
+func (lk *Lake) Compact() error {
+	if !lk.compacting.CompareAndSwap(false, true) {
+		return nil // a background run is already underway
+	}
+	defer lk.compacting.Store(false)
+	return lk.compact()
+}
+
+func (lk *Lake) compact() error {
+	// Snapshot the victims. Committed segments are immutable, so reading
+	// them outside mu is safe; only the manifest splice needs the lock.
+	lk.mu.Lock()
+	if lk.closed {
+		lk.mu.Unlock()
+		return errClosed
+	}
+	var victims []segMeta
+	for _, s := range lk.man.Segments {
+		if s.Rows < lk.opt.Compact.TargetRows {
+			victims = append(victims, s)
+		}
+	}
+	if len(victims) < 2 {
+		lk.mu.Unlock()
+		return nil
+	}
+	lk.mu.Unlock()
+
+	// Merge victim rows into one canonical-order builder. scanMu.R keeps
+	// vacuum (file deletion) out while the victim files are read.
+	lk.scanMu.RLock()
+	merged := newBuilder()
+	st := &merged.store
+	ips := st.IPs()
+	for _, sm := range victims {
+		d, _, err := lk.readSegment(sm)
+		if err != nil {
+			lk.scanMu.RUnlock()
+			return fmt.Errorf("lake: compact: %w", err)
+		}
+		remap := make([]uint32, len(d.ips))
+		for i := range remap {
+			remap[i] = ips.InternString(d.ips[i])
+		}
+		for i := int32(0); i < int32(d.rows()); i++ {
+			st.AppendRaw(d.tids[i], remap[d.ipIdx[i]], d.atNs[i], d.seeder(i))
+			merged.zone.add(d.tids[i], d.atNs[i], d.ips[d.ipIdx[i]])
+		}
+	}
+	lk.scanMu.RUnlock()
+	st.SortCanonical()
+
+	// Write the compacted segment, then splice the manifest under mu.
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	name := fmt.Sprintf("seg-%06d.obs", lk.man.NextSeq)
+	lk.man.NextSeq++
+	buf := encodeSegment(st, merged.zone)
+	if err := writeFileSync(filepath.Join(lk.dir, name), buf); err != nil {
+		return err
+	}
+	gone := make(map[string]bool, len(victims))
+	for _, v := range victims {
+		gone[v.File] = true
+	}
+	keep := lk.man.Segments[:0:0]
+	for _, s := range lk.man.Segments {
+		if !gone[s.File] {
+			keep = append(keep, s)
+		}
+	}
+	keep = append(keep, segMeta{File: name, Bytes: int64(len(buf)), zone: merged.zone})
+	lk.man.Segments = keep
+	lk.man.Version++
+	if err := commitManifest(lk.dir, lk.man); err != nil {
+		return err
+	}
+	for f := range gone {
+		lk.dead = append(lk.dead, f)
+	}
+	lk.tryVacuumLocked()
+	return nil
+}
+
+// tryVacuumLocked deletes retired files if no scan is active right now;
+// otherwise they wait for the next opportunity (or Close). Callers hold
+// mu.
+func (lk *Lake) tryVacuumLocked() {
+	if len(lk.dead) == 0 {
+		return
+	}
+	if !lk.scanMu.TryLock() {
+		return
+	}
+	lk.deleteDeadLocked()
+	lk.scanMu.Unlock()
+}

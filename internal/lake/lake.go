@@ -1,0 +1,685 @@
+// Package lake is the persistent, append-only observation store — the
+// on-disk successor to holding a whole dataset.Dataset in memory. Writers
+// (campaign runs, live crawlers, JSONL imports) append observations into
+// an open columnar builder that is sealed into immutable segment files
+// (zone maps + CRC footers, see segment.go) under a versioned manifest
+// with atomic commit (see manifest.go); torrent and user records ride in
+// JSONL meta files reusing the dataset codec. Readers scan committed
+// segments in parallel with predicate pushdown (see scan.go) while a
+// compactor folds small segments together in canonical Merge order (see
+// compact.go). One process owns a lake directory at a time; within that
+// process every method is safe for concurrent use.
+package lake
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btpub/internal/dataset"
+)
+
+// maxTorrentID mirrors the dataset codec's bound: torrent IDs are dense
+// int32 sequence numbers everywhere downstream.
+const maxTorrentID = 1<<31 - 1
+
+// Options tunes a lake handle.
+type Options struct {
+	// FlushRows seals the open builder into a segment once it holds this
+	// many observations (default 1<<17). Small values produce many small
+	// segments — correct, just compaction fodder.
+	FlushRows int
+	// Compact configures the background compactor.
+	Compact CompactOptions
+	// Salvage lets Open drop segments whose files are missing or
+	// truncated (logged, removed from the manifest) instead of failing.
+	// Data in the dropped segments is lost; everything else stays
+	// readable.
+	Salvage bool
+}
+
+func (o *Options) setDefaults() {
+	if o.FlushRows <= 0 {
+		o.FlushRows = 1 << 17
+	}
+	o.Compact.setDefaults()
+}
+
+// builder is the open, mutable segment.
+type builder struct {
+	store dataset.ObsStore
+	zone  zone
+}
+
+// Lake is a handle on one lake directory.
+type Lake struct {
+	dir string
+	opt Options
+
+	// mu guards the manifest, the open builder, the pending meta records
+	// and commit sequencing.
+	mu      sync.Mutex
+	man     *manifest
+	bld     *builder
+	pendT   []*dataset.TorrentRecord
+	pendU   []dataset.UserRecord
+	dead    []string // retired by compaction, deleted once no scan is active
+	closed  bool
+	lastErr error
+
+	// scanMu: readers hold RLock while touching committed files; vacuum
+	// takes Lock to delete retired ones, so a scan never sees a file
+	// disappear mid-read.
+	scanMu sync.RWMutex
+
+	compacting atomic.Bool
+	wg         sync.WaitGroup
+
+	segsRead    atomic.Int64
+	segsSkipped atomic.Int64
+}
+
+// Open opens (or creates) the lake in dir. Crash recovery happens here:
+// a torn MANIFEST.tmp is discarded, segment and meta files not referenced
+// by the committed manifest are deleted, and every referenced segment is
+// size-checked against its manifest entry (Options.Salvage turns a
+// failing segment into a logged drop instead of an error).
+func Open(dir string, opt Options) (*Lake, error) {
+	opt.setDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, ok, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		man = &manifest{Format: formatV1}
+	}
+	// Validate referenced segments before touching anything else.
+	var keep []segMeta
+	salvaged := false
+	for _, s := range man.Segments {
+		st, err := os.Stat(filepath.Join(dir, s.File))
+		switch {
+		case err == nil && st.Size() == s.Bytes:
+			keep = append(keep, s)
+			continue
+		case err == nil:
+			err = &CorruptSegmentError{File: s.File, Reason: fmt.Sprintf("size %d, manifest says %d", st.Size(), s.Bytes)}
+		case os.IsNotExist(err):
+			err = &CorruptSegmentError{File: s.File, Reason: "missing"}
+		}
+		if !opt.Salvage {
+			return nil, err
+		}
+		log.Printf("lake: salvage: dropping segment %s (%v, %d observations lost)", s.File, err, s.Rows)
+		man.Rows -= int64(s.Rows)
+		salvaged = true
+	}
+	man.Segments = keep
+	for _, f := range man.Meta {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			return nil, fmt.Errorf("lake: meta file %s: %w", f, err)
+		}
+	}
+	// Remove files a crash orphaned (written but never committed) and any
+	// leftover tmp manifest. Only files this package names are touched.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	referenced := man.files()
+	for _, e := range entries {
+		name := e.Name()
+		if !isLakeFile(name) {
+			continue
+		}
+		if _, ok := referenced[name]; ok {
+			continue
+		}
+		_ = os.Remove(filepath.Join(dir, name))
+	}
+	// NextTID must clear every torrent ID any committed segment mentions,
+	// not just the flushed torrent records: a crash between a live
+	// stream's observation flushes and its final meta commit leaves
+	// observations for IDs no record claims yet, and handing those IDs to
+	// the next campaign would silently re-attribute them.
+	for _, s := range man.Segments {
+		if s.Rows > 0 && s.MaxTID+1 > man.NextTID {
+			man.NextTID = s.MaxTID + 1
+		}
+	}
+	lk := &Lake{dir: dir, opt: opt, man: man, bld: newBuilder()}
+	if salvaged {
+		lk.man.Version++
+		if err := commitManifest(dir, lk.man); err != nil {
+			return nil, err
+		}
+	}
+	return lk, nil
+}
+
+func newBuilder() *builder { return &builder{zone: emptyZone()} }
+
+// Close flushes pending state, waits for background compaction and
+// deletes files retired by it.
+func (lk *Lake) Close() error {
+	lk.mu.Lock()
+	if lk.closed {
+		lk.mu.Unlock()
+		return lk.lastErr
+	}
+	err := lk.flushLocked(false)
+	lk.closed = true
+	lk.mu.Unlock()
+	lk.wg.Wait()
+	lk.scanMu.Lock()
+	lk.mu.Lock()
+	lk.deleteDeadLocked()
+	lk.mu.Unlock()
+	lk.scanMu.Unlock()
+	return err
+}
+
+var errClosed = errors.New("lake: closed")
+
+// Version returns the committed manifest version; it increases on every
+// flush, import and compaction, so cached readers can cheaply detect
+// staleness.
+func (lk *Lake) Version() uint64 {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	return lk.man.Version
+}
+
+// NextTorrentID returns the lowest unused global torrent ID — the base a
+// live writer offsets its local IDs by.
+func (lk *Lake) NextTorrentID() int {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	return int(lk.man.NextTID)
+}
+
+// Stats is a point-in-time summary of committed lake state.
+type Stats struct {
+	Name         string    `json:"name"`
+	Start        time.Time `json:"start"`
+	End          time.Time `json:"end"`
+	Version      uint64    `json:"version"`
+	Segments     int       `json:"segments"`
+	Observations int64     `json:"observations"`
+	Torrents     int       `json:"torrents"`
+	Users        int       `json:"users"`
+	Dropped      int64     `json:"dropped"`
+	// SegmentsRead / SegmentsSkipped are cumulative scan pushdown
+	// counters for this handle (skipped = pruned by zone maps alone).
+	SegmentsRead    int64 `json:"segments_read"`
+	SegmentsSkipped int64 `json:"segments_skipped"`
+}
+
+// Stats snapshots the committed state.
+func (lk *Lake) Stats() Stats {
+	lk.mu.Lock()
+	m := lk.man
+	st := Stats{
+		Name: m.Name, Start: m.Start, End: m.End,
+		Version: m.Version, Segments: len(m.Segments),
+		Observations: m.Rows, Torrents: m.Torrents, Users: m.Users,
+		Dropped: m.Dropped,
+	}
+	lk.mu.Unlock()
+	st.SegmentsRead = lk.segsRead.Load()
+	st.SegmentsSkipped = lk.segsSkipped.Load()
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Writer API
+// ---------------------------------------------------------------------
+
+// Append adds one observation to the open builder, sealing a segment when
+// the flush threshold is reached.
+func (lk *Lake) Append(o dataset.Observation) error {
+	if o.TorrentID < 0 || o.TorrentID > maxTorrentID {
+		return fmt.Errorf("lake: torrent ID %d out of range", o.TorrentID)
+	}
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	lk.bld.store.Append(o)
+	s := &lk.bld.store
+	i := s.Len() - 1
+	lk.bld.zone.add(int32(o.TorrentID), s.UnixNano(i), s.IPString(i))
+	return lk.maybeFlushLocked()
+}
+
+// AppendAddr is the zero-alloc-on-repeat live-crawl path: the address
+// string is computed only the first time this builder sees it.
+func (lk *Lake) AppendAddr(tid int, addr netip.Addr, at time.Time, seeder bool) error {
+	if tid < 0 || tid > maxTorrentID {
+		return fmt.Errorf("lake: torrent ID %d out of range", tid)
+	}
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	lk.bld.store.AppendAddr(tid, addr, at, seeder)
+	s := &lk.bld.store
+	i := s.Len() - 1
+	lk.bld.zone.add(int32(tid), s.UnixNano(i), s.IPString(i))
+	return lk.maybeFlushLocked()
+}
+
+// AddTorrents buffers torrent records for the next flush. Records are
+// copied; IDs must be non-negative and are registered against NextTID.
+func (lk *Lake) AddTorrents(recs []*dataset.TorrentRecord) error {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	for _, r := range recs {
+		if r.TorrentID < 0 || r.TorrentID > maxTorrentID {
+			return fmt.Errorf("lake: torrent ID %d out of range", r.TorrentID)
+		}
+		cp := *r
+		lk.pendT = append(lk.pendT, &cp)
+	}
+	return nil
+}
+
+// AddUsers buffers user records for the next flush.
+func (lk *Lake) AddUsers(users []dataset.UserRecord) error {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	lk.pendU = append(lk.pendU, users...)
+	return nil
+}
+
+// ExtendWindow widens the lake's measurement window and names an unnamed
+// lake. The change is committed by the next flush.
+func (lk *Lake) ExtendWindow(name string, start, end time.Time) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.man.Name == "" {
+		lk.man.Name = name
+	}
+	if lk.man.Start.IsZero() || (!start.IsZero() && start.Before(lk.man.Start)) {
+		lk.man.Start = start
+	}
+	if end.After(lk.man.End) {
+		lk.man.End = end
+	}
+}
+
+// AddDropped records observations a writer had to discard upstream
+// (e.g. a dataset import's DroppedObservations), so the loss is visible
+// in Stats instead of vanishing.
+func (lk *Lake) AddDropped(n int) {
+	lk.mu.Lock()
+	lk.man.Dropped += int64(n)
+	lk.mu.Unlock()
+}
+
+// Flush seals the open builder and pending meta records into files and
+// commits a new manifest version. A no-op when nothing is pending.
+func (lk *Lake) Flush() error {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	return lk.flushLocked(true)
+}
+
+func (lk *Lake) maybeFlushLocked() error {
+	if lk.bld.store.Len() < lk.opt.FlushRows {
+		return nil
+	}
+	return lk.flushLocked(true)
+}
+
+// flushLocked writes the builder segment and/or meta file, commits the
+// manifest, and (optionally) kicks the background compactor.
+func (lk *Lake) flushLocked(autoCompact bool) error {
+	dirty := false
+	if n := lk.bld.store.Len(); n > 0 {
+		name := fmt.Sprintf("seg-%06d.obs", lk.man.NextSeq)
+		lk.man.NextSeq++
+		buf := encodeSegment(&lk.bld.store, lk.bld.zone)
+		if err := writeFileSync(filepath.Join(lk.dir, name), buf); err != nil {
+			lk.lastErr = err
+			return err
+		}
+		lk.man.Segments = append(lk.man.Segments, segMeta{File: name, Bytes: int64(len(buf)), zone: lk.bld.zone})
+		lk.man.Rows += int64(n)
+		if lk.bld.zone.MaxTID+1 > lk.man.NextTID {
+			// Streamed observations can mention torrents whose records are
+			// only committed at campaign end; NextTID must clear them now
+			// so a crash before that commit cannot recycle their IDs.
+			lk.man.NextTID = lk.bld.zone.MaxTID + 1
+		}
+		lk.bld = newBuilder()
+		dirty = true
+	}
+	if len(lk.pendT) > 0 || len(lk.pendU) > 0 {
+		name := fmt.Sprintf("meta-%06d.jsonl", lk.man.NextSeq)
+		lk.man.NextSeq++
+		md := &dataset.Dataset{Name: lk.man.Name, Start: lk.man.Start, End: lk.man.End}
+		md.Torrents = lk.pendT
+		md.Users = lk.pendU
+		if err := saveSync(filepath.Join(lk.dir, name), md); err != nil {
+			lk.lastErr = err
+			return err
+		}
+		lk.man.Meta = append(lk.man.Meta, name)
+		lk.man.Torrents += len(lk.pendT)
+		lk.man.Users += len(lk.pendU)
+		for _, t := range lk.pendT {
+			if int32(t.TorrentID) >= lk.man.NextTID {
+				lk.man.NextTID = int32(t.TorrentID) + 1
+			}
+		}
+		lk.pendT, lk.pendU = nil, nil
+		dirty = true
+	}
+	if !dirty {
+		return nil
+	}
+	lk.man.Version++
+	if err := commitManifest(lk.dir, lk.man); err != nil {
+		lk.lastErr = err
+		return err
+	}
+	if autoCompact && lk.opt.Compact.Auto && lk.compactEligibleLocked() {
+		lk.startCompactLocked()
+	}
+	return nil
+}
+
+// writeFileSync writes data and fsyncs before closing, so the manifest
+// can never reference a segment the disk does not yet hold.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// saveSync writes a meta dataset as JSONL with an fsync.
+func saveSync(path string, d *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// deleteDeadLocked removes files retired by compaction. Callers hold both
+// scanMu (write) and mu.
+func (lk *Lake) deleteDeadLocked() {
+	for _, f := range lk.dead {
+		_ = os.Remove(filepath.Join(lk.dir, f))
+	}
+	lk.dead = nil
+}
+
+// ---------------------------------------------------------------------
+// Bulk import / materialize
+// ---------------------------------------------------------------------
+
+// ImportDataset appends a whole dataset to the lake: torrent IDs are
+// offset past the lake's existing contents so successive crawls never
+// collide, the dataset's window extends the lake's, and
+// DroppedObservations carries over into the lake's dropped counter.
+// Segments flush at FlushRows. The ID range is reserved and the meta
+// records registered in one critical section, so concurrent imports (or
+// an import racing a live campaign stream) get disjoint bases; the
+// observation transfer then releases the lake between chunks, keeping
+// Stats/Version/Scan responsive during a large migration.
+func (lk *Lake) ImportDataset(ds *dataset.Dataset) error {
+	// The reservation must clear every ID the dataset mentions — records
+	// and observations can disagree in hand-built datasets.
+	maxID := -1
+	for _, t := range ds.Torrents {
+		if t.TorrentID < 0 || t.TorrentID > maxTorrentID {
+			return fmt.Errorf("lake: torrent ID %d out of range", t.TorrentID)
+		}
+		if t.TorrentID > maxID {
+			maxID = t.TorrentID
+		}
+	}
+	for i := 0; i < ds.Obs.Len(); i++ {
+		if tid := ds.Obs.TorrentID(i); tid > maxID {
+			maxID = tid
+		}
+	}
+
+	lk.mu.Lock()
+	if lk.closed {
+		lk.mu.Unlock()
+		return errClosed
+	}
+	base := int(lk.man.NextTID)
+	if maxID >= 0 {
+		if base+maxID > maxTorrentID {
+			lk.mu.Unlock()
+			return fmt.Errorf("lake: import would exceed the torrent ID space (base %d + max %d)", base, maxID)
+		}
+		lk.man.NextTID = int32(base + maxID + 1)
+	}
+	for _, t := range ds.Torrents {
+		cp := *t
+		cp.TorrentID += base
+		lk.pendT = append(lk.pendT, &cp)
+	}
+	lk.pendU = append(lk.pendU, ds.Users...)
+	if lk.man.Name == "" {
+		lk.man.Name = ds.Name
+	}
+	if lk.man.Start.IsZero() || (!ds.Start.IsZero() && ds.Start.Before(lk.man.Start)) {
+		lk.man.Start = ds.Start
+	}
+	if ds.End.After(lk.man.End) {
+		lk.man.End = ds.End
+	}
+	lk.man.Dropped += int64(ds.DroppedObservations)
+	lk.mu.Unlock()
+
+	// Observation transfer: remap the dataset's intern table into the
+	// builder lazily — one hash per distinct address per open builder,
+	// not one per observation. The chunk loop re-acquires the lake per
+	// chunk so concurrent readers and writers interleave with the import.
+	src := &ds.Obs
+	srcIPs := src.IPs()
+	const unmapped = ^uint32(0)
+	const chunk = 1 << 14
+	ipMap := make([]uint32, srcIPs.Len())
+	for i := range ipMap {
+		ipMap[i] = unmapped
+	}
+	var bld *builder
+	for lo := 0; lo < src.Len(); lo += chunk {
+		hi := lo + chunk
+		if hi > src.Len() {
+			hi = src.Len()
+		}
+		lk.mu.Lock()
+		if lk.closed {
+			lk.mu.Unlock()
+			return errClosed
+		}
+		for i := lo; i < hi; i++ {
+			sp := src.IPIndex(i)
+			mapped := ipMap[sp]
+			if mapped == unmapped || bld != lk.bld {
+				// First sight, or the builder was sealed since the map was
+				// built (mid-chunk flush, another writer, a previous
+				// chunk): re-intern against the current builder.
+				if bld != lk.bld {
+					bld = lk.bld
+					for j := range ipMap {
+						ipMap[j] = unmapped
+					}
+				}
+				mapped = bld.store.IPs().InternString(srcIPs.String(sp))
+				ipMap[sp] = mapped
+			}
+			tid := int32(src.TorrentID(i) + base)
+			atNs := src.UnixNano(i)
+			bld.store.AppendRaw(tid, mapped, atNs, src.Seeder(i))
+			bld.zone.add(tid, atNs, srcIPs.String(sp))
+			if err := lk.maybeFlushLocked(); err != nil {
+				lk.mu.Unlock()
+				return err
+			}
+		}
+		lk.mu.Unlock()
+	}
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	if lk.closed {
+		return errClosed
+	}
+	return lk.flushLocked(true)
+}
+
+// Materialize reads the committed lake back into one in-memory dataset:
+// meta records plus every observation matching pred, canonicalised by
+// dataset.Merge so the result is independent of segment boundaries,
+// flush sizes and compaction history. With a zero Predicate and a lake
+// holding exactly one imported canonical dataset, the result is that
+// dataset, byte for byte.
+func (lk *Lake) Materialize(ctx context.Context, pred Predicate) (*dataset.Dataset, error) {
+	lk.scanMu.RLock()
+	defer lk.scanMu.RUnlock()
+	lk.mu.Lock()
+	man := lk.man.clone()
+	lk.mu.Unlock()
+
+	raw := &dataset.Dataset{Name: man.Name, Start: man.Start, End: man.End}
+	torrents, users, err := lk.readMetaLocked(man)
+	if err != nil {
+		return nil, err
+	}
+	if pred.TorrentIDs != nil {
+		want := make(map[int]bool, len(pred.TorrentIDs))
+		for _, id := range pred.TorrentIDs {
+			want[id] = true
+		}
+		for _, t := range torrents {
+			if want[t.TorrentID] {
+				raw.Torrents = append(raw.Torrents, t)
+			}
+		}
+	} else {
+		raw.Torrents = torrents
+	}
+	raw.Users = users
+
+	var mu sync.Mutex
+	err = lk.scanManifest(ctx, man, pred, func(b *Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		store := &raw.Obs
+		ips := store.IPs()
+		for k := 0; k < b.Len(); k++ {
+			store.AppendRaw(int32(b.TorrentID(k)), ips.InternString(b.IP(k)), b.UnixNano(k), b.Seeder(k))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := dataset.Merge(man.Name, raw)
+	out.Start, out.End = man.Start, man.End
+	out.DroppedObservations += int(man.Dropped)
+	return out, nil
+}
+
+// TorrentRecords reads every committed torrent record (and user records)
+// from the lake's meta files.
+func (lk *Lake) TorrentRecords() ([]*dataset.TorrentRecord, []dataset.UserRecord, error) {
+	lk.scanMu.RLock()
+	defer lk.scanMu.RUnlock()
+	lk.mu.Lock()
+	man := lk.man.clone()
+	lk.mu.Unlock()
+	return lk.readMetaLocked(man)
+}
+
+// readMetaLocked loads the manifest's meta files. Callers hold scanMu.R.
+func (lk *Lake) readMetaLocked(man *manifest) ([]*dataset.TorrentRecord, []dataset.UserRecord, error) {
+	var torrents []*dataset.TorrentRecord
+	var users []dataset.UserRecord
+	for _, f := range man.Meta {
+		md, err := dataset.Load(filepath.Join(lk.dir, f))
+		if err != nil {
+			return nil, nil, fmt.Errorf("lake: meta file %s: %w", f, err)
+		}
+		torrents = append(torrents, md.Torrents...)
+		users = append(users, md.Users...)
+	}
+	return torrents, users, nil
+}
+
+// Verify reads and CRC-checks every committed segment, returning one
+// error per corrupt file (nil means the lake is fully intact).
+func (lk *Lake) Verify(ctx context.Context) []error {
+	lk.scanMu.RLock()
+	defer lk.scanMu.RUnlock()
+	lk.mu.Lock()
+	man := lk.man.clone()
+	lk.mu.Unlock()
+	var errs []error
+	for _, sm := range man.Segments {
+		if ctx.Err() != nil {
+			errs = append(errs, ctx.Err())
+			break
+		}
+		if _, _, err := lk.readSegment(sm); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// readSegment loads and decodes one committed segment file.
+func (lk *Lake) readSegment(sm segMeta) (*segData, zone, error) {
+	buf, err := os.ReadFile(filepath.Join(lk.dir, sm.File))
+	if err != nil {
+		return nil, zone{}, err
+	}
+	return decodeSegment(sm.File, buf)
+}

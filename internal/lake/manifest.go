@@ -1,0 +1,140 @@
+// The manifest is the lake's single source of truth: a small JSON file
+// naming every live segment and meta file together with their zone maps
+// and sizes. Commits are atomic — the new manifest is written to
+// MANIFEST.tmp, fsynced, then renamed over MANIFEST — so a crash at any
+// point leaves either the old or the new state, never a torn one.
+// Segment and meta files are written (and fsynced) before the manifest
+// that references them; files a crash orphaned are deleted on Open.
+package lake
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+const (
+	manifestName = "MANIFEST"
+	manifestTmp  = "MANIFEST.tmp"
+	formatV1     = 1
+)
+
+// segMeta is one live segment's manifest entry.
+type segMeta struct {
+	File  string `json:"file"`
+	Bytes int64  `json:"bytes"`
+	zone
+}
+
+// manifest is the committed lake state.
+type manifest struct {
+	Format  int       `json:"format"`
+	Version uint64    `json:"version"`
+	Name    string    `json:"name,omitempty"`
+	Start   time.Time `json:"start,omitempty"`
+	End     time.Time `json:"end,omitempty"`
+
+	// NextSeq numbers segment and meta files monotonically.
+	NextSeq int `json:"next_seq"`
+	// NextTID is the next unused global torrent ID (import base).
+	NextTID int32 `json:"next_tid"`
+
+	Rows     int64 `json:"rows"`
+	Torrents int   `json:"torrents"`
+	Users    int   `json:"users"`
+	// Dropped accumulates DroppedObservations counts carried in by
+	// imported datasets (inconsistent shards surface here, not silently).
+	Dropped int64 `json:"dropped,omitempty"`
+
+	Segments []segMeta `json:"segments"`
+	// Meta lists the JSONL files holding torrent and user records.
+	Meta []string `json:"meta"`
+}
+
+func (m *manifest) clone() *manifest {
+	cp := *m
+	cp.Segments = append([]segMeta(nil), m.Segments...)
+	cp.Meta = append([]string(nil), m.Meta...)
+	return &cp
+}
+
+// files returns every file the manifest references.
+func (m *manifest) files() map[string]int64 {
+	out := make(map[string]int64, len(m.Segments)+len(m.Meta))
+	for _, s := range m.Segments {
+		out[s.File] = s.Bytes
+	}
+	for _, f := range m.Meta {
+		out[f] = -1 // meta sizes are not pinned
+	}
+	return out
+}
+
+// loadManifest reads dir's committed manifest; ok=false means the lake is
+// fresh (no manifest at all).
+func loadManifest(dir string) (*manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, false, fmt.Errorf("lake: manifest corrupt: %w", err)
+	}
+	if m.Format != formatV1 {
+		return nil, false, fmt.Errorf("lake: unsupported manifest format %d", m.Format)
+	}
+	return &m, true, nil
+}
+
+// commitManifest atomically replaces dir's manifest with m.
+func commitManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, manifestTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so the rename itself is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// isLakeFile reports whether name looks like a file this package owns
+// (orphan cleanup must never touch anything else in the directory).
+func isLakeFile(name string) bool {
+	return strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".obs") ||
+		strings.HasPrefix(name, "meta-") && strings.HasSuffix(name, ".jsonl") ||
+		name == manifestTmp
+}

@@ -1,0 +1,215 @@
+// Parallel predicate scans over committed segments. Pruning happens on
+// the manifest's zone maps alone — a segment whose time range, torrent-ID
+// range or IP bloom cannot match the predicate is never opened — and the
+// surviving segments are decoded and filtered by a bounded worker pool.
+package lake
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Predicate selects observations. The zero value matches everything.
+type Predicate struct {
+	// MinTime/MaxTime bound the observation timestamp (inclusive); zero
+	// values leave the corresponding side open.
+	MinTime, MaxTime time.Time
+	// TorrentIDs restricts to these torrents (nil = all; empty = none).
+	TorrentIDs []int
+	// IP restricts to one address string ("" = all).
+	IP string
+	// SeedersOnly keeps only seeder sightings.
+	SeedersOnly bool
+}
+
+// compiled is the fixed-width form of a predicate.
+type compiled struct {
+	minNs, maxNs   int64
+	tids           map[int32]bool
+	minTID, maxTID int32
+	ip             string
+	ipBloom        uint64
+	seedersOnly    bool
+}
+
+func (p Predicate) compile() compiled {
+	c := compiled{minNs: math.MinInt64, maxNs: math.MaxInt64, minTID: math.MinInt32, maxTID: math.MaxInt32, ip: p.IP, seedersOnly: p.SeedersOnly}
+	if !p.MinTime.IsZero() {
+		c.minNs = p.MinTime.UnixNano()
+	}
+	if !p.MaxTime.IsZero() {
+		c.maxNs = p.MaxTime.UnixNano()
+	}
+	if p.TorrentIDs != nil {
+		c.tids = make(map[int32]bool, len(p.TorrentIDs))
+		c.minTID, c.maxTID = math.MaxInt32, math.MinInt32
+		for _, id := range p.TorrentIDs {
+			t := int32(id)
+			c.tids[t] = true
+			if t < c.minTID {
+				c.minTID = t
+			}
+			if t > c.maxTID {
+				c.maxTID = t
+			}
+		}
+	}
+	if p.IP != "" {
+		c.ipBloom = bloomBits(p.IP)
+	}
+	return c
+}
+
+// admitsSegment tests a segment's zone maps against the predicate.
+func (c *compiled) admitsSegment(z zone) bool {
+	if z.Rows == 0 {
+		return false
+	}
+	if z.MinAtNs > c.maxNs || z.MaxAtNs < c.minNs {
+		return false
+	}
+	if z.MinTID > c.maxTID || z.MaxTID < c.minTID {
+		return false
+	}
+	if c.ipBloom != 0 && z.IPBloom&c.ipBloom != c.ipBloom {
+		return false
+	}
+	return true
+}
+
+// admitsRow tests one decoded row.
+func (c *compiled) admitsRow(d *segData, i int32) bool {
+	if at := d.atNs[i]; at < c.minNs || at > c.maxNs {
+		return false
+	}
+	if c.tids != nil && !c.tids[d.tids[i]] {
+		return false
+	}
+	if c.ip != "" && d.ips[d.ipIdx[i]] != c.ip {
+		return false
+	}
+	if c.seedersOnly && !d.seeder(i) {
+		return false
+	}
+	return true
+}
+
+// Batch is one segment's matching observations, handed to the scan
+// callback. Accessors index the k-th match, 0 <= k < Len().
+type Batch struct {
+	seg  *segData
+	rows []int32
+}
+
+// Len returns the number of matching observations in the batch.
+func (b *Batch) Len() int { return len(b.rows) }
+
+// TorrentID returns match k's torrent ID.
+func (b *Batch) TorrentID(k int) int { return int(b.seg.tids[b.rows[k]]) }
+
+// IP returns match k's address string (interned per segment).
+func (b *Batch) IP(k int) string { return b.seg.ips[b.seg.ipIdx[b.rows[k]]] }
+
+// UnixNano returns match k's timestamp in unix nanoseconds.
+func (b *Batch) UnixNano(k int) int64 { return b.seg.atNs[b.rows[k]] }
+
+// Time returns match k's timestamp (UTC instant).
+func (b *Batch) Time(k int) time.Time { return time.Unix(0, b.seg.atNs[b.rows[k]]).UTC() }
+
+// Seeder reports match k's seeder flag.
+func (b *Batch) Seeder(k int) bool { return b.seg.seeder(b.rows[k]) }
+
+// Scan streams every committed observation matching pred to fn, reading
+// surviving segments in parallel. fn may be called concurrently from
+// several goroutines and must be safe for that; returning an error (or a
+// context cancellation) stops the scan. The scan sees the manifest
+// committed at call time — segments sealed afterwards are not included,
+// and compaction can never yank a file out from under an active scan.
+func (lk *Lake) Scan(ctx context.Context, pred Predicate, fn func(*Batch) error) error {
+	lk.scanMu.RLock()
+	defer lk.scanMu.RUnlock()
+	lk.mu.Lock()
+	man := lk.man.clone()
+	lk.mu.Unlock()
+	return lk.scanManifest(ctx, man, pred, fn)
+}
+
+// scanManifest runs the scan over an already-snapshotted manifest.
+// Callers hold scanMu.R.
+func (lk *Lake) scanManifest(ctx context.Context, man *manifest, pred Predicate, fn func(*Batch) error) error {
+	c := pred.compile()
+	var candidates []segMeta
+	for _, sm := range man.Segments {
+		if c.admitsSegment(sm.zone) {
+			candidates = append(candidates, sm)
+		} else {
+			lk.segsSkipped.Add(1)
+		}
+	}
+	if len(candidates) == 0 {
+		return ctx.Err()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstEr = err; cancel() })
+	}
+	jobs := make(chan segMeta)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sm := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				d, _, err := lk.readSegment(sm)
+				if err != nil {
+					fail(err)
+					return
+				}
+				lk.segsRead.Add(1)
+				rows := make([]int32, 0, d.rows())
+				for i := int32(0); i < int32(d.rows()); i++ {
+					if c.admitsRow(d, i) {
+						rows = append(rows, i)
+					}
+				}
+				if len(rows) == 0 {
+					continue
+				}
+				if err := fn(&Batch{seg: d, rows: rows}); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	for _, sm := range candidates {
+		select {
+		case jobs <- sm:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstEr != nil {
+		return firstEr
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,226 @@
+// Segment files: the immutable columnar unit of the lake. One file holds
+// one sealed batch of observations in the same four-column layout as
+// dataset.ObsStore — torrent ID, segment-local interned-IP index,
+// unix-nanosecond timestamp, seeder bitset — prefixed by the segment's
+// intern table and a fixed-size zone-map header (min/max time, min/max
+// torrent ID, a 64-bit IP bloom) and terminated by a CRC-32C footer over
+// every preceding byte. The zone maps are duplicated into the manifest so
+// scans prune segments without touching the file at all; the in-file copy
+// exists so a segment is self-describing for recovery and verification.
+//
+// All integers are little-endian. Layout:
+//
+//	magic   "BTLKSG1\n"                     8 bytes
+//	rows    u32    nIPs u32                 8
+//	minAt   i64    maxAt i64                16
+//	minTID  i32    maxTID i32               8
+//	ipBloom u64                             8
+//	IP table: nIPs × (u32 len + bytes)
+//	tids:     rows × i32
+//	ipIdx:    rows × u32
+//	atNs:     rows × i64
+//	seeder:   ceil(rows/64) × u64
+//	crc32c   u32 over everything above      4
+package lake
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"btpub/internal/dataset"
+)
+
+const segMagic = "BTLKSG1\n"
+
+// segHeaderLen is the byte length of the fixed header (magic + zone maps).
+const segHeaderLen = 8 + 8 + 16 + 8 + 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// zone is a segment's pruning metadata, stored in both the segment header
+// and the manifest entry.
+type zone struct {
+	Rows    int    `json:"rows"`
+	MinAtNs int64  `json:"min_at_ns"`
+	MaxAtNs int64  `json:"max_at_ns"`
+	MinTID  int32  `json:"min_tid"`
+	MaxTID  int32  `json:"max_tid"`
+	IPBloom uint64 `json:"ip_bloom"`
+}
+
+func emptyZone() zone {
+	return zone{MinAtNs: math.MaxInt64, MaxAtNs: math.MinInt64, MinTID: math.MaxInt32, MaxTID: math.MinInt32}
+}
+
+func (z *zone) add(tid int32, atNs int64, ip string) {
+	z.Rows++
+	if atNs < z.MinAtNs {
+		z.MinAtNs = atNs
+	}
+	if atNs > z.MaxAtNs {
+		z.MaxAtNs = atNs
+	}
+	if tid < z.MinTID {
+		z.MinTID = tid
+	}
+	if tid > z.MaxTID {
+		z.MaxTID = tid
+	}
+	z.IPBloom |= bloomBits(ip)
+}
+
+// bloomBits hashes an address string to a 3-bit-set 64-bit bloom mask.
+// False positives only ever cost an unnecessary segment read.
+func bloomBits(ip string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(ip); i++ {
+		h ^= uint64(ip[i])
+		h *= 1099511628211
+	}
+	return 1<<(h&63) | 1<<((h>>8)&63) | 1<<((h>>16)&63)
+}
+
+// segData is a decoded segment: plain columns plus the segment-local
+// intern table. Immutable once decoded; safe for concurrent readers.
+type segData struct {
+	ips   []string
+	tids  []int32
+	ipIdx []uint32
+	atNs  []int64
+	seed  []uint64
+}
+
+func (d *segData) rows() int           { return len(d.tids) }
+func (d *segData) seeder(i int32) bool { return d.seed[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// encodeSegment serializes a sealed builder store. The store's columns are
+// walked through the exported ObsStore accessors, so the lake never
+// depends on dataset internals.
+func encodeSegment(s *dataset.ObsStore, z zone) []byte {
+	n := s.Len()
+	ips := s.IPs()
+	nIPs := ips.Len()
+	size := segHeaderLen + 4*nIPs + 16*n + 8*((n+63)/64) + 4
+	for i := 0; i < nIPs; i++ {
+		size += len(ips.String(uint32(i)))
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nIPs))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MinAtNs))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MaxAtNs))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(z.MinTID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(z.MaxTID))
+	buf = binary.LittleEndian.AppendUint64(buf, z.IPBloom)
+	for i := 0; i < nIPs; i++ {
+		str := ips.String(uint32(i))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(str)))
+		buf = append(buf, str...)
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s.TorrentID(i)))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint32(buf, s.IPIndex(i))
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.UnixNano(i)))
+	}
+	words := (n + 63) / 64
+	bits := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		if s.Seeder(i) {
+			bits[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	for _, w := range bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+// CorruptSegmentError reports a segment file whose bytes fail validation.
+type CorruptSegmentError struct {
+	File   string
+	Reason string
+}
+
+func (e *CorruptSegmentError) Error() string {
+	return fmt.Sprintf("lake: corrupt segment %s: %s", e.File, e.Reason)
+}
+
+// decodeSegment parses and CRC-verifies one segment file's bytes.
+func decodeSegment(file string, buf []byte) (*segData, zone, error) {
+	fail := func(reason string) (*segData, zone, error) {
+		return nil, zone{}, &CorruptSegmentError{File: file, Reason: reason}
+	}
+	if len(buf) < segHeaderLen+4 {
+		return fail(fmt.Sprintf("file too short (%d bytes)", len(buf)))
+	}
+	if string(buf[:8]) != segMagic {
+		return fail("bad magic")
+	}
+	body, footer := buf[:len(buf)-4], buf[len(buf)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(footer); got != want {
+		return fail(fmt.Sprintf("CRC mismatch (stored %08x, computed %08x)", want, got))
+	}
+	rows := int(binary.LittleEndian.Uint32(buf[8:]))
+	nIPs := int(binary.LittleEndian.Uint32(buf[12:]))
+	z := zone{
+		Rows:    rows,
+		MinAtNs: int64(binary.LittleEndian.Uint64(buf[16:])),
+		MaxAtNs: int64(binary.LittleEndian.Uint64(buf[24:])),
+		MinTID:  int32(binary.LittleEndian.Uint32(buf[32:])),
+		MaxTID:  int32(binary.LittleEndian.Uint32(buf[36:])),
+		IPBloom: binary.LittleEndian.Uint64(buf[40:]),
+	}
+	p := segHeaderLen
+	d := &segData{
+		ips:   make([]string, nIPs),
+		tids:  make([]int32, rows),
+		ipIdx: make([]uint32, rows),
+		atNs:  make([]int64, rows),
+		seed:  make([]uint64, (rows+63)/64),
+	}
+	for i := 0; i < nIPs; i++ {
+		if p+4 > len(body) {
+			return fail("truncated IP table")
+		}
+		l := int(binary.LittleEndian.Uint32(body[p:]))
+		p += 4
+		if l < 0 || p+l > len(body) {
+			return fail("IP string overruns file")
+		}
+		d.ips[i] = string(body[p : p+l])
+		p += l
+	}
+	need := 16*rows + 8*len(d.seed)
+	if p+need != len(body) {
+		return fail(fmt.Sprintf("column area is %d bytes, want %d", len(body)-p, need))
+	}
+	for i := range d.tids {
+		d.tids[i] = int32(binary.LittleEndian.Uint32(body[p:]))
+		p += 4
+	}
+	for i := range d.ipIdx {
+		idx := binary.LittleEndian.Uint32(body[p:])
+		p += 4
+		if int(idx) >= nIPs {
+			return fail(fmt.Sprintf("row %d references IP index %d of %d", i, idx, nIPs))
+		}
+		d.ipIdx[i] = idx
+	}
+	for i := range d.atNs {
+		d.atNs[i] = int64(binary.LittleEndian.Uint64(body[p:]))
+		p += 8
+	}
+	for i := range d.seed {
+		d.seed[i] = binary.LittleEndian.Uint64(body[p:])
+		p += 8
+	}
+	return d, z, nil
+}

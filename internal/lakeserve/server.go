@@ -1,0 +1,294 @@
+// Package lakeserve serves the paper's analysis over a live observation
+// lake: an HTTP API whose answers come from cached analysis snapshots
+// keyed by the lake's manifest version. Requests never block behind a
+// writer — a snapshot is rebuilt at most once per committed lake version
+// (single-flight), stale snapshots keep serving while the rebuild runs,
+// and raw observation queries go through the lake's predicate scan with
+// zone-map pushdown instead of touching the analysis at all.
+//
+// Endpoints:
+//
+//	GET /stats                        lake + snapshot status (JSON)
+//	GET /tables/1                     Table 1, dataset description
+//	GET /tables/2?n=10                Table 2, publishers per ISP
+//	GET /tables/3?isps=OVH,Comcast    Table 3, hosting vs commercial
+//	GET /top-publishers?n=20          top publishers (JSON)
+//	GET /torrents/{id}/observations   one torrent's sightings (JSON)
+//
+// Tables render as text by default (curl-friendly, identical to the
+// btpub-analyze output); ?format=json returns the underlying rows.
+package lakeserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"btpub/internal/analysis"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+)
+
+// Server is the HTTP query interface over one lake.
+type Server struct {
+	Lake *lake.Lake
+	Geo  *geoip.DB
+	// TopK is the top-publisher cut passed to analysis.New (0 = the
+	// paper's 3 % rule).
+	TopK int
+
+	mu         sync.Mutex // single-flight synchronous first build
+	snap       atomic.Pointer[snapshot]
+	refreshing atomic.Bool
+}
+
+// snapshot is one cached analysis over a committed lake version.
+type snapshot struct {
+	version uint64
+	builtAt time.Time
+	an      *analysis.Analysis
+}
+
+// Snapshot returns an analysis no older than the lake version at some
+// point during this call. The first call builds synchronously; later
+// calls return the cached snapshot immediately and, when it is stale,
+// kick exactly one background rebuild — many concurrent requests over a
+// live lake each pay a pointer load, not an index build.
+func (s *Server) Snapshot(r *http.Request) (*analysis.Analysis, uint64, error) {
+	cur := s.snap.Load()
+	v := s.Lake.Version()
+	if cur != nil {
+		if cur.version != v {
+			s.refreshAsync()
+		}
+		return cur.an, cur.version, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur := s.snap.Load(); cur != nil {
+		return cur.an, cur.version, nil
+	}
+	snap, err := s.build(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.snap.Store(snap)
+	return snap.an, snap.version, nil
+}
+
+func (s *Server) build(r *http.Request) (*snapshot, error) {
+	ctx := r.Context()
+	v := s.Lake.Version()
+	an, err := analysis.NewFromLake(ctx, s.Lake, s.Geo, lake.Predicate{}, s.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{version: v, builtAt: time.Now().UTC(), an: an}, nil
+}
+
+func (s *Server) refreshAsync() {
+	if !s.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.refreshing.Store(false)
+		v := s.Lake.Version()
+		an, err := analysis.NewFromLake(context.Background(), s.Lake, s.Geo, lake.Predicate{}, s.TopK)
+		if err != nil {
+			return // keep serving the stale snapshot; next request retries
+		}
+		s.snap.Store(&snapshot{version: v, builtAt: time.Now().UTC(), an: an})
+	}()
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /tables/1", s.handleTable1)
+	mux.HandleFunc("GET /tables/2", s.handleTable2)
+	mux.HandleFunc("GET /tables/3", s.handleTable3)
+	mux.HandleFunc("GET /top-publishers", s.handleTopPublishers)
+	mux.HandleFunc("GET /torrents/{id}/observations", s.handleObservations)
+	return mux
+}
+
+// StatsResponse is the /stats document.
+type StatsResponse struct {
+	Lake lake.Stats `json:"lake"`
+	// AnalysisVersion is the lake version the cached analysis reflects
+	// (0 = not built yet); a value behind Lake.Version means a refresh
+	// is pending or in flight.
+	AnalysisVersion uint64    `json:"analysis_version"`
+	AnalysisBuilt   time.Time `json:"analysis_built,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Lake: s.Lake.Stats()}
+	if cur := s.snap.Load(); cur != nil {
+		resp.AnalysisVersion = cur.version
+		resp.AnalysisBuilt = cur.builtAt
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	sum := an.Summary()
+	if wantJSON(r) {
+		writeJSON(w, sum)
+		return
+	}
+	writeText(w, analysis.RenderSummary([]analysis.DatasetSummary{sum}))
+}
+
+func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	rows := an.ISPTable(intParam(r, "n", 10))
+	if wantJSON(r) {
+		writeJSON(w, rows)
+		return
+	}
+	writeText(w, analysis.RenderISPTable(an.DS.Name, rows))
+}
+
+func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	names := []string{geoip.OVH, geoip.Comcast}
+	if q := r.URL.Query().Get("isps"); q != "" {
+		names = strings.Split(q, ",")
+	}
+	rows := an.ContrastISPs(names...)
+	if wantJSON(r) {
+		writeJSON(w, rows)
+		return
+	}
+	writeText(w, analysis.RenderContrast(an.DS.Name, rows))
+}
+
+// TopPublisher is one /top-publishers row.
+type TopPublisher struct {
+	Username string `json:"username"`
+	Torrents int    `json:"torrents"`
+	// Downloads counts distinct downloader IPs across the publisher's
+	// torrents.
+	Downloads int  `json:"downloads"`
+	Fake      bool `json:"fake"`
+}
+
+func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	n := intParam(r, "n", 20)
+	rows := make([]TopPublisher, 0, len(an.Facts.Users))
+	for _, u := range an.Facts.Users {
+		rows = append(rows, TopPublisher{
+			Username: u.Username, Torrents: len(u.TorrentIDs),
+			Downloads: u.Downloads, Fake: u.Fake(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Torrents != rows[j].Torrents {
+			return rows[i].Torrents > rows[j].Torrents
+		}
+		return rows[i].Username < rows[j].Username
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	writeJSON(w, rows)
+}
+
+// ObservationRow is one /torrents/{id}/observations element.
+type ObservationRow struct {
+	IP     string    `json:"ip"`
+	At     time.Time `json:"at"`
+	Seeder bool      `json:"seeder,omitempty"`
+}
+
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil || id < 0 {
+		http.Error(w, "bad torrent id", http.StatusBadRequest)
+		return
+	}
+	limit := intParam(r, "limit", 1000)
+	var mu sync.Mutex
+	var rows []ObservationRow
+	err = s.Lake.Scan(r.Context(), lake.Predicate{TorrentIDs: []int{id}}, func(b *lake.Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for k := 0; k < b.Len(); k++ {
+			rows = append(rows, ObservationRow{IP: b.IP(k), At: b.Time(k), Seeder: b.Seeder(k)})
+		}
+		return nil
+	})
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if !rows[i].At.Equal(rows[j].At) {
+			return rows[i].At.Before(rows[j].At)
+		}
+		return rows[i].IP < rows[j].IP
+	})
+	if limit > 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	writeJSON(w, rows)
+}
+
+func wantJSON(r *http.Request) bool {
+	return r.URL.Query().Get("format") == "json"
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return def
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeText(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = fmt.Fprint(w, body)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

@@ -1,0 +1,49 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"btpub/internal/dataset"
+	"btpub/internal/lake"
+)
+
+// TestIngestLake: the Section 7 database bootstraps from a persistent
+// lake exactly as it would from the equivalent in-memory dataset.
+func TestIngestLake(t *testing.T) {
+	ds := &dataset.Dataset{Name: "lk", Start: t0, End: t0.AddDate(0, 1, 0)}
+	for i := 0; i < 6; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, InfoHash: fmt.Sprintf("%040d", i),
+			Title: fmt.Sprintf("T%d", i), Username: fmt.Sprintf("user%d", i%3),
+			Published: t0.Add(time.Duration(i) * time.Hour),
+			Removed:   i == 5,
+		})
+		ds.AddObservation(dataset.Observation{TorrentID: i, IP: "10.0.0.1", At: t0.Add(time.Duration(i) * time.Hour)})
+	}
+	ds.Users = append(ds.Users, dataset.UserRecord{Username: "user0", Exists: false})
+
+	lk, err := lake.Open(filepath.Join(t.TempDir(), "lake"), lake.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	if err := lk.ImportDataset(dataset.Merge("lk", ds)); err != nil {
+		t.Fatal(err)
+	}
+
+	db := NewDB(nil)
+	if err := db.IngestLake(context.Background(), lk); err != nil {
+		t.Fatal(err)
+	}
+	pubs := db.Publishers()
+	if len(pubs) != 3 {
+		t.Fatalf("publishers = %d, want 3", len(pubs))
+	}
+	if p, ok := db.Publisher("user0"); !ok || !p.Fake {
+		t.Fatalf("user0 = %+v, want fake (account deleted)", p)
+	}
+}

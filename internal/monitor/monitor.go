@@ -6,6 +6,7 @@
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,6 +17,7 @@ import (
 
 	"btpub/internal/dataset"
 	"btpub/internal/geoip"
+	"btpub/internal/lake"
 )
 
 // Record is one monitored publication.
@@ -102,6 +104,17 @@ func (db *DB) Ingest(rec Record) error {
 		}
 	}
 	return nil
+}
+
+// IngestLake bulk-loads the committed contents of an observation lake —
+// the Section 7 service bootstrapping its publisher database from the
+// archive a fleet of crawlers has been appending to.
+func (db *DB) IngestLake(ctx context.Context, lk *lake.Lake) error {
+	ds, err := lk.Materialize(ctx, lake.Predicate{})
+	if err != nil {
+		return err
+	}
+	return db.IngestDataset(ds)
 }
 
 // IngestDataset bulk-loads a crawled dataset.

@@ -1,0 +1,91 @@
+package btpub
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"btpub/internal/dataset"
+	"btpub/internal/lake"
+)
+
+// lakeBenchDataset builds a crawl-shaped dataset: torrents × obsPerTorrent
+// observations over ~6k distinct addresses with forward-marching
+// timestamps — the same shape as the dataset codec benchmarks.
+func lakeBenchDataset(torrents, obsPerTorrent int) *dataset.Dataset {
+	t0 := time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+	d := &dataset.Dataset{Name: "bench", Start: t0, End: t0.AddDate(0, 1, 0)}
+	for i := 0; i < torrents; i++ {
+		d.AddTorrent(&dataset.TorrentRecord{TorrentID: i, InfoHash: fmt.Sprintf("%040x", i), Published: t0})
+		for j := 0; j < obsPerTorrent; j++ {
+			k := (i*131 + j*17) % 6000
+			d.AddObservation(dataset.Observation{
+				TorrentID: i,
+				IP:        fmt.Sprintf("10.%d.%d.%d", k/62500, k/250%250, k%250),
+				At:        t0.Add(time.Duration(i*obsPerTorrent+j) * time.Second),
+				Seeder:    j == 0,
+			})
+		}
+	}
+	return d
+}
+
+// BenchmarkLakeIngest measures end-to-end ingest throughput: one op
+// imports a 50k-observation dataset into a fresh lake (segment encode,
+// fsync, manifest commit included) and closes it.
+func BenchmarkLakeIngest(b *testing.B) {
+	ds := lakeBenchDataset(100, 500)
+	root := b.TempDir()
+	b.SetBytes(int64(ds.NumObservations()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lk, err := lake.Open(filepath.Join(root, fmt.Sprintf("lake-%d", i)), lake.Options{FlushRows: 1 << 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lk.ImportDataset(ds); err != nil {
+			b.Fatal(err)
+		}
+		if err := lk.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLakeScan measures predicate-scan latency over a committed
+// multi-segment lake: one op scans a time+torrent pushdown window (zone
+// maps prune most segments) and counts the matches.
+func BenchmarkLakeScan(b *testing.B) {
+	ds := lakeBenchDataset(100, 500)
+	lk, err := lake.Open(filepath.Join(b.TempDir(), "lake"), lake.Options{FlushRows: 1 << 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lk.Close()
+	if err := lk.ImportDataset(ds); err != nil {
+		b.Fatal(err)
+	}
+	t0 := ds.Start
+	pred := lake.Predicate{
+		MinTime:    t0.Add(45_000 * time.Second),
+		MaxTime:    t0.Add(48_000 * time.Second),
+		TorrentIDs: []int{90, 91, 92, 93, 94, 95},
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := lk.Scan(ctx, pred, func(batch *lake.Batch) error {
+			n += batch.Len()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("scan matched nothing")
+		}
+	}
+}
