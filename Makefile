@@ -10,7 +10,7 @@ SHELL := /bin/bash
 # The E1–E15 experiment suite (bench_test.go) plus the campaign engine
 # and observation-lake benchmarks.
 ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable2ISP|BenchmarkTable3OVHComcast|BenchmarkSection33CrossAnalysis|BenchmarkFigure2ContentTypes|BenchmarkFigure3Popularity|BenchmarkFigure4aSeedingTime|BenchmarkFigure4bParallel|BenchmarkFigure4cSession|BenchmarkSection51Business|BenchmarkTable4Longitudinal|BenchmarkTable5Income|BenchmarkSection6OVH|BenchmarkAppendixAEstimator
-CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel
+CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel|BenchmarkCampaignAdversarial
 LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan
 
 BENCH_DATE := $(shell date +%Y-%m-%d)

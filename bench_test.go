@@ -268,6 +268,27 @@ func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1, 1) }
 // campaign determinism test enforces this), so the speedup is free.
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.NumCPU(), 2) }
 
+// BenchmarkCampaignAdversarial runs the sharded campaign with every
+// adversarial publisher profile on (aliasing, IP churn, fake blitz,
+// account purge) — the worst-case world for the moderation, username and
+// identification paths. Its allocs/op ceiling in ci/bench-ceilings.txt
+// keeps the scenario engine from regressing the crawl hot paths.
+func BenchmarkCampaignAdversarial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(campaign.Spec{
+			Scale: 0.1, MeanDownloads: 200, Seed: 11,
+			Shards: runtime.NumCPU(), Workers: 2,
+			Scenarios: population.AllScenarios,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dataset.Torrents) == 0 || res.Dataset.NumObservations() == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
 // ---------------------------------------------------------------------
 // Substrate micro-benchmarks
 // ---------------------------------------------------------------------

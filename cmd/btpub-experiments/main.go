@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"btpub/internal/campaign"
+	"btpub/internal/population"
 	"btpub/internal/report"
 )
 
@@ -28,19 +29,25 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated styles to sweep (e.g. pb10,pb09,mn08); empty = single pb10 run")
 	seeds := flag.String("seeds", "", "comma-separated seeds for the sweep grid (default: -seed)")
 	budget := flag.Int("budget", runtime.NumCPU(), "shared worker budget across all sweep campaigns")
+	scenarios := flag.String("scenarios", "", "adversarial publisher profiles (comma-separated: alias,churn,blitz,purge; or all)")
 	out := flag.String("out", "EXPERIMENTS.md", "output file (empty = stdout only)")
 	flag.Parse()
 
+	adv, err := population.ParseScenarios(*scenarios)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *sweep != "" {
-		runSweep(*sweep, *seeds, *scale, *seed, *md, *shards, *workers, *budget, *out)
+		runSweep(*sweep, *seeds, *scale, *seed, *md, *shards, *workers, *budget, adv, *out)
 		return
 	}
 
-	log.Printf("running pb10-style campaign: scale=%.3f seed=%d meanDownloads=%.0f shards=%d workers=%d",
-		*scale, *seed, *md, *shards, *workers)
+	log.Printf("running pb10-style campaign: scale=%.3f seed=%d meanDownloads=%.0f shards=%d workers=%d scenarios=%v",
+		*scale, *seed, *md, *shards, *workers, adv)
 	res, err := campaign.Run(campaign.Spec{
 		Scale: *scale, Seed: *seed, MeanDownloads: *md,
-		Shards: *shards, Workers: *workers,
+		Shards: *shards, Workers: *workers, Scenarios: adv,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -73,7 +80,7 @@ func writeReport(res *campaign.Result, out string) {
 
 // runSweep executes the style × seed grid concurrently and reports the
 // full experiment suite for the first pb10 run of the grid.
-func runSweep(sweep, seedList string, scale float64, seed uint64, md float64, shards, workers, budget int, out string) {
+func runSweep(sweep, seedList string, scale float64, seed uint64, md float64, shards, workers, budget int, adv population.Scenario, out string) {
 	seedVals := []uint64{seed}
 	if seedList != "" {
 		seedVals = nil
@@ -92,10 +99,14 @@ func runSweep(sweep, seedList string, scale float64, seed uint64, md float64, sh
 			log.Fatal(err)
 		}
 		for _, sv := range seedVals {
+			name := fmt.Sprintf("%s-seed%d", style, sv)
+			if adv != 0 {
+				name += "-" + adv.String()
+			}
 			specs = append(specs, campaign.Spec{
 				Scale: scale, Seed: sv, MeanDownloads: md, Style: style,
-				Shards: shards, Workers: workers,
-				DatasetName: fmt.Sprintf("%s-seed%d", style, sv),
+				Shards: shards, Workers: workers, Scenarios: adv,
+				DatasetName: name,
 			})
 		}
 	}

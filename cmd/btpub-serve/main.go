@@ -22,6 +22,8 @@
 //	curl 'localhost:8813/tables/2?n=10&format=json'
 //	curl 'localhost:8813/tables/3?isps=OVH,Comcast'
 //	curl 'localhost:8813/top-publishers?n=20'
+//	curl 'localhost:8813/publishers/classified?n=20'
+//	curl 'localhost:8813/fakes?n=50'
 //	curl 'localhost:8813/torrents/17/observations?limit=100'
 package main
 
@@ -38,6 +40,8 @@ import (
 	"btpub/internal/geoip"
 	"btpub/internal/lake"
 	"btpub/internal/lakeserve"
+	"btpub/internal/population"
+	"btpub/internal/webmon"
 )
 
 func main() {
@@ -56,6 +60,7 @@ func run() error {
 	live := flag.Bool("live", false, "run a simulated campaign that streams into the lake while serving")
 	scale := flag.Float64("scale", 0.02, "world scale for -live")
 	seed := flag.Uint64("seed", 1, "scenario seed for -live")
+	scenarios := flag.String("scenarios", "", "adversarial publisher profiles for -live (alias,churn,blitz,purge; or all)")
 	topK := flag.Int("topk", 0, "top-K publisher cut (0 = the paper's 3% rule)")
 	salvage := flag.Bool("salvage", false, "drop corrupt segments at open instead of failing")
 	flag.Parse()
@@ -89,11 +94,22 @@ func run() error {
 			*imp, len(ds.Torrents), ds.NumObservations(), ds.DroppedObservations)
 	}
 
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		return err
+	}
+	srv := &lakeserve.Server{Lake: lk, Geo: db, TopK: *topK}
+
 	if *live {
+		adv, err := population.ParseScenarios(*scenarios)
+		if err != nil {
+			return err
+		}
 		go func() {
-			log.Printf("live campaign: scale=%.3f seed=%d streaming into %s", *scale, *seed, *dir)
+			log.Printf("live campaign: scale=%.3f seed=%d scenarios=%v streaming into %s",
+				*scale, *seed, adv, *dir)
 			res, err := campaign.Run(campaign.Spec{
-				Scale: *scale, Seed: *seed, MeanDownloads: 250, Lake: lk,
+				Scale: *scale, Seed: *seed, MeanDownloads: 250, Lake: lk, Scenarios: adv,
 			})
 			if err != nil {
 				log.Printf("live campaign failed: %v", err)
@@ -101,14 +117,17 @@ func run() error {
 			}
 			log.Printf("live campaign done: %d torrents, %d observations committed",
 				len(res.Dataset.Torrents), res.Dataset.NumObservations())
+			// With the world in hand, /publishers/classified can resolve
+			// promoted sites to their businesses instead of treating every
+			// promoter's site as vanished.
+			mon, err := webmon.NewDirectory(res.World, *seed)
+			if err != nil {
+				log.Printf("webmon directory failed (promoted sites will serve as vanished): %v", err)
+				return
+			}
+			srv.SetInspector(mon)
 		}()
 	}
-
-	db, err := geoip.DefaultDB()
-	if err != nil {
-		return err
-	}
-	srv := &lakeserve.Server{Lake: lk, Geo: db, TopK: *topK}
 	st := lk.Stats()
 	log.Printf("serving lake %s (v%d, %d segments, %d observations, %d torrents) on http://%s",
 		*dir, st.Version, st.Segments, st.Observations, st.Torrents, *addr)

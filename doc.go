@@ -96,17 +96,44 @@
 //
 // internal/lakeserve + cmd/btpub-serve expose the lake over HTTP while
 // writers append: analysis snapshots are cached per manifest version
-// (single-flight rebuild, stale-while-revalidate), so many concurrent
-// /tables requests over a live lake cost one index build per committed
-// version. Endpoints: /stats, /tables/{1,2,3}, /top-publishers,
-// /torrents/{id}/observations. Migration from JSONL:
+// (stamped with the exact version the scan used — MaterializeVersion —
+// so a commit racing the build never forces a redundant rebuild;
+// single-flight, stale-while-revalidate), so many concurrent /tables
+// requests over a live lake cost one index build per committed version.
+// Endpoints: /stats, /tables/{1,2,3}, /top-publishers,
+// /publishers/classified, /fakes, /torrents/{id}/observations.
+// Migration from JSONL:
 // `btpub-analyze -in pb10.jsonl -import pb10.lake`, thereafter
 // `btpub-analyze -lake pb10.lake` / `btpub-serve -lake pb10.lake`.
+//
+// # Adversarial publisher scenarios
+//
+// population.Scenario (campaign.Spec.Scenarios; -scenarios on
+// btpub-experiments and btpub-serve -live) layers the hostile behaviour
+// profiles the paper's crawler met in the wild over the cooperative base
+// world: username aliasing (one operator, several accounts sharing a
+// hosted seeder pool), fast per-upload IP churn, an antipiracy agency
+// mass-publishing a decoy wave that moderation tears back out, and
+// wholesale mid-campaign account deletion (Portal.SuspendAccount removes
+// an account and every live upload at once). The classify package
+// recovers the plants from crawl data alone: UserFacts.Downloads counts
+// distinct downloader IPs per username (not per torrent), account
+// deletion lands on the resolved identity (so mn08-style "ip:<addr>"
+// publishers can carry the signal), Facts.AliasClusters links usernames
+// through shared identified seeder IPs and propagates the fake signals
+// across each cluster, and Facts.MergeAliases folds clusters into
+// operator-level entities before group building and business
+// classification. Scenario worlds honour the same sharded-vs-serial
+// byte-identity contract, and TestAdversarialScenarioRecovery gates the
+// whole loop end to end, including over the /publishers/classified and
+// /fakes endpoints.
 //
 // The tier-1 gate is `go build ./... && go test ./...`; CI additionally
 // runs `go vet`, gofmt, the race detector (including the lake's
 // reader-during-compaction tests), a dirty-working-tree check after the
-// tests, and a 1x smoke pass of the campaign and lake benchmarks whose
+// tests, short fuzz smokes of the observation-line codec and the
+// promo-URL extractor, and a 1x smoke pass of the campaign and lake
+// benchmarks (cooperative and adversarial) whose
 // allocs/op are gated against checked-in ceilings
 // (ci/bench-ceilings.txt, enforced by cmd/benchjson) so allocation
 // regressions fail loudly. `make bench` runs the E1–E15 suite with

@@ -123,7 +123,13 @@ func (a *Analysis) Skewness() Skewness {
 	for name := range major {
 		u := a.Facts.Users[name]
 		torrents += len(u.TorrentIDs)
-		downloads += u.Downloads
+		// Sum the per-torrent distinct counts, not UserFacts.Downloads:
+		// the share is relative to TotalDownloads, which is a per-torrent
+		// sum, so the numerator must stay on the same basis (a loyal IP
+		// fetching 50 of a publisher's torrents counts 50 times in both).
+		for _, tid := range u.TorrentIDs {
+			downloads += a.Facts.DownloadsByTorrent[tid]
+		}
 	}
 	if a.Facts.TotalTorrents > 0 {
 		out.TopKShare = float64(torrents) / float64(a.Facts.TotalTorrents)

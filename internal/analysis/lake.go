@@ -18,9 +18,20 @@ import (
 // pred narrows the view (zero Predicate = everything); topK <= 0 picks
 // the paper's 3 % rule, as in New.
 func NewFromLake(ctx context.Context, lk *lake.Lake, db *geoip.DB, pred lake.Predicate, topK int) (*Analysis, error) {
-	ds, err := lk.Materialize(ctx, pred)
+	an, _, err := NewFromLakeVersion(ctx, lk, db, pred, topK)
+	return an, err
+}
+
+// NewFromLakeVersion is NewFromLake plus the committed lake version the
+// scan used — the exact stamp for version-keyed snapshot caches.
+func NewFromLakeVersion(ctx context.Context, lk *lake.Lake, db *geoip.DB, pred lake.Predicate, topK int) (*Analysis, uint64, error) {
+	ds, v, err := lk.MaterializeVersion(ctx, pred)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return New(ds, db, topK)
+	an, err := New(ds, db, topK)
+	if err != nil {
+		return nil, 0, err
+	}
+	return an, v, nil
 }

@@ -84,6 +84,10 @@ type Spec struct {
 	MeanDownloads float64
 	// Style selects the dataset flavour.
 	Style Style
+	// Scenarios switches on adversarial publisher behaviour profiles in
+	// the generated world (population.Scenario bitmask; 0 = cooperative
+	// world). See population.ParseScenarios for the profile names.
+	Scenarios population.Scenario
 	// DrainDays keeps crawling after the last publication so late swarms
 	// are drained (default 5).
 	DrainDays int
@@ -180,6 +184,7 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 	if spec.MeanDownloads > 0 {
 		params.MeanDownloads = spec.MeanDownloads
 	}
+	params.Scenarios = spec.Scenarios
 	world, err := population.Generate(params, db)
 	if err != nil {
 		release()

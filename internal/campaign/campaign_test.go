@@ -282,14 +282,29 @@ func TestCrawlObservedDownloadSharesRoughlyMatchGroundTruth(t *testing.T) {
 }
 
 // TestShardedRunByteIdentical is the determinism gate of the sharded
-// engine: for every style, a 4-shard run with pooled workers must
-// serialise byte-for-byte identically to the serial run at the same seed.
+// engine: for every style — and for the adversarial scenario world — a
+// 4-shard run with pooled workers must serialise byte-for-byte
+// identically to the serial run at the same seed.
 func TestShardedRunByteIdentical(t *testing.T) {
+	type tc struct {
+		name   string
+		serial func(t *testing.T) *Result
+		spec   Spec
+	}
+	var cases []tc
 	for _, style := range []Style{PB10, PB09, MN08} {
-		t.Run(style.String(), func(t *testing.T) {
-			serial := run(t, style) // cached serial run, same Spec otherwise
-			sharded, err := Run(Spec{Scale: 0.01, MeanDownloads: 120, Style: style, Seed: 42,
-				Shards: 4, Workers: 2})
+		style := style
+		cases = append(cases, tc{style.String(),
+			func(t *testing.T) *Result { return run(t, style) },
+			Spec{Scale: 0.01, MeanDownloads: 120, Style: style, Seed: 42}})
+	}
+	cases = append(cases, tc{"pb10-adversarial", advRun, advSpec})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.serial(t) // cached serial run, same Spec otherwise
+			spec := tc.spec
+			spec.Shards, spec.Workers = 4, 2
+			sharded, err := Run(spec)
 			if err != nil {
 				t.Fatal(err)
 			}

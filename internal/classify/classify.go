@@ -31,7 +31,8 @@ type UserFacts struct {
 	// RemovedTorrents counts window uploads the portal took down.
 	RemovedTorrents int
 	// Downloads is the number of distinct downloader IPs observed across
-	// the username's torrents.
+	// the username's torrents: an IP that fetched several of the user's
+	// torrents counts once.
 	Downloads int
 }
 
@@ -53,8 +54,14 @@ type Facts struct {
 	// DownloadsByTorrent counts distinct downloader IPs per torrent.
 	DownloadsByTorrent map[int]int
 	// TotalTorrents and TotalDownloads over the whole dataset.
+	// TotalDownloads sums the per-torrent distinct counts (one IP in two
+	// torrents is two downloads), matching the paper's Table 1 framing.
 	TotalTorrents  int
 	TotalDownloads int
+
+	// obs is the dataset's columnar store, kept so alias merging can
+	// recount distinct downloaders over a cluster's combined torrents.
+	obs *dataset.ObsStore
 }
 
 // BuildFacts indexes a dataset. db resolves publisher IPs to ISPs; it may
@@ -67,6 +74,7 @@ func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
 		Users:              map[string]*UserFacts{},
 		ByIP:               map[string][]string{},
 		DownloadsByTorrent: map[int]int{},
+		obs:                &ds.Obs,
 	}
 	// Distinct downloader IPs per torrent: one pass over the columnar
 	// store's per-torrent index, no per-torrent set maps.
@@ -91,13 +99,16 @@ func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
 		u := f.Users[name]
 		if u == nil {
 			u = &UserFacts{Username: name, ISPs: map[string]geoip.Record{}}
-			if ur, ok := users[rec.Username]; ok && !ur.Exists {
+			// Look the account up by the resolved identity: for mn08-style
+			// records the username is empty and the publisher is keyed
+			// "ip:<addr>", so probing users[rec.Username] would hit the
+			// empty key and the deletion signal could never land.
+			if ur, ok := users[name]; ok && !ur.Exists {
 				u.AccountDeleted = true
 			}
 			f.Users[name] = u
 		}
 		u.TorrentIDs = append(u.TorrentIDs, rec.TorrentID)
-		u.Downloads += f.DownloadsByTorrent[rec.TorrentID]
 		if rec.Removed {
 			u.RemovedTorrents++
 		}
@@ -122,7 +133,41 @@ func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
 			}
 		}
 	}
+	users2 := make([]*UserFacts, 0, len(f.Users))
+	for _, u := range f.Users {
+		users2 = append(users2, u)
+	}
+	f.countDistinctDownloads(users2)
 	return f, nil
+}
+
+// countDistinctDownloads sets each user's Downloads to the number of
+// distinct downloader IPs across its torrents — one pass over the
+// columnar store's per-torrent spans with an epoch-stamped array over the
+// intern table, no per-user set maps. Summing per-torrent distinct counts
+// instead would count an IP once per torrent it appears in.
+func (f *Facts) countDistinctDownloads(users []*UserFacts) {
+	if f.obs == nil {
+		return
+	}
+	ix := f.obs.Index()
+	stamp := make([]int32, f.obs.IPs().Len())
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for epoch, u := range users {
+		mark := int32(epoch)
+		n := 0
+		for _, tid := range u.TorrentIDs {
+			for _, oi := range ix.Span(tid) {
+				if ip := f.obs.IPIndex(int(oi)); stamp[ip] != mark {
+					stamp[ip] = mark
+					n++
+				}
+			}
+		}
+		u.Downloads = n
+	}
 }
 
 // Groups is the paper's five-way split (Section 4).

@@ -293,6 +293,152 @@ func TestClassifyBusiness(t *testing.T) {
 	}
 }
 
+// TestDownloadsDistinctAcrossTorrents is the regression test for the
+// double-counting bug: one IP downloading two torrents of the same user
+// must count once in the user's Downloads, while the per-torrent counts
+// (and their dataset-level sum) still see it twice.
+func TestDownloadsDistinctAcrossTorrents(t *testing.T) {
+	ds := &dataset.Dataset{Name: "dup", Start: t0, End: t0.AddDate(0, 1, 0)}
+	for i := 0; i < 2; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, InfoHash: fmt.Sprintf("%040d", i),
+			Username: "dualpub", Published: t0.Add(time.Duration(i) * time.Hour),
+		})
+		ds.AddObservation(dataset.Observation{
+			TorrentID: i, IP: "99.0.0.1", At: t0.Add(time.Duration(i)*time.Hour + time.Minute),
+		})
+	}
+	ds.Users = []dataset.UserRecord{{Username: "dualpub", Exists: true}}
+	f, err := BuildFacts(ds, buildDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.Users["dualpub"]
+	if u.Downloads != 1 {
+		t.Fatalf("Downloads = %d, want 1 (distinct across the user's torrents)", u.Downloads)
+	}
+	if f.DownloadsByTorrent[0] != 1 || f.DownloadsByTorrent[1] != 1 {
+		t.Fatalf("per-torrent counts = %v", f.DownloadsByTorrent)
+	}
+	if f.TotalDownloads != 2 {
+		t.Fatalf("TotalDownloads = %d, want 2 (per-torrent sum)", f.TotalDownloads)
+	}
+}
+
+// TestAccountDeletedIPIdentified covers the mn08 fallback path: a
+// publisher identified only by IP is keyed "ip:<addr>", and a deletion
+// record under that resolved identity must land as AccountDeleted.
+func TestAccountDeletedIPIdentified(t *testing.T) {
+	ds := &dataset.Dataset{Name: "mn08", Start: t0, End: t0.AddDate(0, 1, 0)}
+	for i := 0; i < 4; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, InfoHash: fmt.Sprintf("%040d", i),
+			PublisherIP: "11.0.0.5", Published: t0,
+		})
+	}
+	ds.Users = []dataset.UserRecord{{Username: "ip:11.0.0.5", Exists: false}}
+	f, err := BuildFacts(ds, buildDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := f.Users["ip:11.0.0.5"]
+	if u == nil || !u.AccountDeleted || !u.Fake() {
+		t.Fatalf("ip-identified publisher = %+v, want AccountDeleted/fake", u)
+	}
+}
+
+func TestAliasClustersAndMerge(t *testing.T) {
+	ds := synthDataset(t)
+	// Alias trio: three accounts splitting one operator's uploads over a
+	// shared two-IP pool, each promoting the same portal.
+	id := len(ds.Torrents)
+	for i := 0; i < 9; i++ {
+		ip := "11.1.0.80"
+		if i%2 == 1 {
+			ip = "11.0.0.81"
+		}
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: id, InfoHash: fmt.Sprintf("%040d", id),
+			Username: fmt.Sprintf("cloak%d", i%3), PublisherIP: ip,
+			Description: "visit www.cloaknet.com", Published: t0.Add(time.Duration(id) * time.Hour),
+		})
+		// The same two loyal downloaders fetch everything the operator
+		// publishes: merged Downloads must stay 2, not 3×2.
+		for d := 0; d < 2; d++ {
+			ds.AddObservation(dataset.Observation{
+				TorrentID: id, IP: fmt.Sprintf("98.0.0.%d", d),
+				At: t0.Add(time.Duration(id)*time.Hour + time.Minute),
+			})
+		}
+		id++
+	}
+	for i := 0; i < 3; i++ {
+		ds.Users = append(ds.Users, dataset.UserRecord{Username: fmt.Sprintf("cloak%d", i), Exists: true})
+	}
+	f, err := BuildFacts(ds, buildDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := f.AliasClusters()
+	var cloak, ghosts *AliasCluster
+	for i := range clusters {
+		switch clusters[i].Usernames[0] {
+		case "cloak0":
+			cloak = &clusters[i]
+		case "ghost1":
+			ghosts = &clusters[i]
+		}
+	}
+	if cloak == nil || len(cloak.Usernames) != 3 || cloak.Fake {
+		t.Fatalf("alias cluster = %+v", cloak)
+	}
+	if len(cloak.SharedIPs) != 2 || cloak.Torrents != 9 {
+		t.Fatalf("alias cluster shape = %+v", cloak)
+	}
+	if ghosts == nil || !ghosts.Fake {
+		t.Fatalf("ghost cohort = %+v, want fake (deleted accounts)", ghosts)
+	}
+
+	merged := f.MergeAliases()
+	op := merged.Users["cloak0"]
+	if op == nil || len(op.TorrentIDs) != 9 || len(op.IPs) != 2 {
+		t.Fatalf("merged operator = %+v", op)
+	}
+	if op.Downloads != 2 {
+		t.Fatalf("merged Downloads = %d, want 2 (distinct across the cluster)", op.Downloads)
+	}
+	if merged.Users["cloak1"] != nil || merged.Users["cloak2"] != nil {
+		t.Fatal("cluster members not folded")
+	}
+	// The ghost cohort folds into one fake entity under the first name.
+	if g := merged.Users["ghost1"]; g == nil || !g.Fake() || len(g.TorrentIDs) != 6 {
+		t.Fatalf("merged ghost cohort = %+v", g)
+	}
+	// The merged operator now outranks the individually-small accounts and
+	// classifies as a promoter over the combined uploads.
+	groups := merged.BuildGroups(4, 10)
+	profiles, err := ClassifyBusiness(merged, groups, ds.ByTorrentID(), stubInspector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range profiles {
+		if p.Username == "cloak0" {
+			found = true
+			if p.Class == Altruist || p.URL != "www.cloaknet.com" {
+				t.Fatalf("operator profile = %+v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("merged operator missing from the top group")
+	}
+	// Unclustered facts are untouched views.
+	if merged.Users["homepub"] != f.Users["homepub"] {
+		t.Fatal("unclustered user unexpectedly copied")
+	}
+}
+
 func TestBuildFactsMN08Style(t *testing.T) {
 	// No usernames: publishers keyed by IP.
 	ds := &dataset.Dataset{Name: "mn08", Start: t0, End: t0.AddDate(0, 1, 0)}

@@ -1,0 +1,61 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"btpub/internal/dataset"
+	"btpub/internal/population"
+)
+
+// FuzzExtractPromo checks ExtractPromo's contract against arbitrary
+// channel contents: the channel precedence is textbox > file name >
+// bundled files, the returned URL is the lower-cased first urlPattern
+// match of the winning channel, and no promo ever comes out of a record
+// none of whose channels match.
+func FuzzExtractPromo(f *testing.F) {
+	f.Add("come to www.divxatope.com now", "movie-www.ultra.net.avi", "Visit forum.megaboard.org.txt")
+	f.Add("", "", "")
+	f.Add("WWW.UPPER.COM", "x.avi", "")
+	f.Add("no urls", "plain.avi", "readme www.bundle-site.org.txt")
+	f.Add("forum.foo.org wins?", "www.bar.com.avi", "www.baz.net")
+	f.Add("a\x00b www..com", "-www.a-.com", "www.a.com\nwww.b.com")
+	f.Fuzz(func(t *testing.T, desc, fname, bundled string) {
+		rec := dataset.TorrentRecord{
+			Description:  desc,
+			FileName:     fname,
+			BundledFiles: []string{bundled},
+		}
+		url, ch := ExtractPromo(&rec)
+		if url == "" {
+			if ch != population.PromoNone {
+				t.Fatalf("empty URL but channel %v", ch)
+			}
+			for _, text := range []string{desc, fname, bundled} {
+				if m := urlPattern.FindString(text); m != "" {
+					t.Fatalf("channel %q matched %q but ExtractPromo found nothing", text, m)
+				}
+			}
+			return
+		}
+		if url != strings.ToLower(url) {
+			t.Fatalf("URL %q not lower-cased", url)
+		}
+		var want string
+		var wantCh population.PromoChannel
+		switch {
+		case urlPattern.FindString(desc) != "":
+			want, wantCh = urlPattern.FindString(desc), population.PromoTextbox
+		case urlPattern.FindString(fname) != "":
+			want, wantCh = urlPattern.FindString(fname), population.PromoFilename
+		default:
+			want, wantCh = urlPattern.FindString(bundled), population.PromoBundledFile
+		}
+		if want == "" {
+			t.Fatalf("got (%q, %v) from a record with no match", url, ch)
+		}
+		if ch != wantCh || url != strings.ToLower(want) {
+			t.Fatalf("got (%q, %v), want (%q, %v)", url, ch, strings.ToLower(want), wantCh)
+		}
+	})
+}

@@ -181,6 +181,23 @@ func New(cfg Config) (*Ecosystem, error) {
 			e.publish(tor, planners[tor.PublisherID], consumption[tor.ID], now)
 		})
 	}
+
+	// Wholesale account purges (the account-purge scenario): at PurgeAt the
+	// portal deletes the publisher's accounts and every live upload at once.
+	// Uploads scheduled after the purge bounce off the suspended account.
+	for _, pub := range cfg.World.Publishers {
+		if pub.PurgeAt.IsZero() || !cfg.ownsPublisher(pub.ID) {
+			continue
+		}
+		pub := pub
+		e.clock.Schedule(pub.PurgeAt, func(time.Time) {
+			for _, name := range pub.Usernames {
+				// Not-found is fine: the account may never have managed a
+				// successful upload in this shard's window.
+				_ = e.Portal.SuspendAccount(name)
+			}
+		})
+	}
 	return e, nil
 }
 

@@ -582,6 +582,15 @@ func (lk *Lake) ImportDataset(ds *dataset.Dataset) error {
 // holding exactly one imported canonical dataset, the result is that
 // dataset, byte for byte.
 func (lk *Lake) Materialize(ctx context.Context, pred Predicate) (*dataset.Dataset, error) {
+	ds, _, err := lk.MaterializeVersion(ctx, pred)
+	return ds, err
+}
+
+// MaterializeVersion is Materialize plus the committed manifest version
+// the scan actually used — the exact staleness stamp for caches built
+// over the result. Reading Version() separately around the call can be
+// off by any commits that land in between.
+func (lk *Lake) MaterializeVersion(ctx context.Context, pred Predicate) (*dataset.Dataset, uint64, error) {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
 	lk.mu.Lock()
@@ -591,7 +600,7 @@ func (lk *Lake) Materialize(ctx context.Context, pred Predicate) (*dataset.Datas
 	raw := &dataset.Dataset{Name: man.Name, Start: man.Start, End: man.End}
 	torrents, users, err := lk.readMetaLocked(man)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if pred.TorrentIDs != nil {
 		want := make(map[int]bool, len(pred.TorrentIDs))
@@ -620,12 +629,12 @@ func (lk *Lake) Materialize(ctx context.Context, pred Predicate) (*dataset.Datas
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	out := dataset.Merge(man.Name, raw)
 	out.Start, out.End = man.Start, man.End
 	out.DroppedObservations += int(man.Dropped)
-	return out, nil
+	return out, man.Version, nil
 }
 
 // TorrentRecords reads every committed torrent record (and user records)

@@ -13,6 +13,8 @@
 //	GET /tables/2?n=10                Table 2, publishers per ISP
 //	GET /tables/3?isps=OVH,Comcast    Table 3, hosting vs commercial
 //	GET /top-publishers?n=20          top publishers (JSON)
+//	GET /publishers/classified?n=20   Section 5.1 business classes (JSON)
+//	GET /fakes?n=50                   fake publishers and cohorts (JSON)
 //	GET /torrents/{id}/observations   one torrent's sightings (JSON)
 //
 // Tables render as text by default (curl-friendly, identical to the
@@ -22,7 +24,9 @@ package lakeserve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -32,8 +36,10 @@ import (
 	"time"
 
 	"btpub/internal/analysis"
+	"btpub/internal/classify"
 	"btpub/internal/geoip"
 	"btpub/internal/lake"
+	"btpub/internal/population"
 )
 
 // Server is the HTTP query interface over one lake.
@@ -43,17 +49,61 @@ type Server struct {
 	// TopK is the top-publisher cut passed to analysis.New (0 = the
 	// paper's 3 % rule).
 	TopK int
+	// Inspector resolves promoted URLs for /publishers/classified (e.g. a
+	// webmon.Directory over a live campaign's world). Set it before
+	// serving, or swap it at runtime with SetInspector. When absent,
+	// promoted sites are treated as vanished: promoters still classify,
+	// but as OtherWeb.
+	Inspector classify.SiteInspector
 
+	insp       atomic.Pointer[classify.SiteInspector]
+	inspGen    atomic.Uint64
 	mu         sync.Mutex // single-flight synchronous first build
 	snap       atomic.Pointer[snapshot]
 	refreshing atomic.Bool
 }
 
-// snapshot is one cached analysis over a committed lake version.
+// SetInspector swaps the promoted-site inspector. The generation bump
+// marks the cached snapshot stale, so the next request re-classifies
+// with the new inspector — even if a rebuild that captured the old one
+// is in flight and stores its result after this call.
+func (s *Server) SetInspector(insp classify.SiteInspector) {
+	s.insp.Store(&insp)
+	s.inspGen.Add(1)
+}
+
+func (s *Server) inspector() classify.SiteInspector {
+	if p := s.insp.Load(); p != nil && *p != nil {
+		return *p
+	}
+	if s.Inspector != nil {
+		return s.Inspector
+	}
+	return vanishedSites{}
+}
+
+// vanishedSites stands in when no inspector is configured: every promoted
+// URL reports unreachable, which ClassifyBusiness treats as a vanished
+// site — the publisher still counts as a promoter.
+type vanishedSites struct{}
+
+func (vanishedSites) Inspect(string) (population.BusinessType, string, error) {
+	return population.BusinessNone, "", errors.New("lakeserve: no site inspector configured")
+}
+
+// snapshot is one cached analysis over a committed lake version, plus the
+// Section 5 classification over the alias-merged publisher facts.
 type snapshot struct {
 	version uint64
+	inspGen uint64 // inspector generation the classification used
 	builtAt time.Time
 	an      *analysis.Analysis
+	// merged folds alias clusters (usernames sharing identified seeder
+	// IPs) into operator-level entities; profiles classifies that view's
+	// top group; clusters keeps the raw cluster memberships.
+	merged   *classify.Facts
+	profiles []classify.BusinessProfile
+	clusters []classify.AliasCluster
 }
 
 // Snapshot returns an analysis no older than the lake version at some
@@ -62,35 +112,73 @@ type snapshot struct {
 // kick exactly one background rebuild — many concurrent requests over a
 // live lake each pay a pointer load, not an index build.
 func (s *Server) Snapshot(r *http.Request) (*analysis.Analysis, uint64, error) {
-	cur := s.snap.Load()
-	v := s.Lake.Version()
-	if cur != nil {
-		if cur.version != v {
+	snap, err := s.classified(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap.an, snap.version, nil
+}
+
+// classified returns the cached snapshot (analysis plus the Section 5
+// views), building it synchronously on first use and kicking one
+// background rebuild when it is stale.
+func (s *Server) classified(r *http.Request) (*snapshot, error) {
+	if cur := s.snap.Load(); cur != nil {
+		if s.stale(cur) {
 			s.refreshAsync()
 		}
-		return cur.an, cur.version, nil
+		return cur, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur := s.snap.Load(); cur != nil {
-		return cur.an, cur.version, nil
+		return cur, nil
 	}
-	snap, err := s.build(r)
-	if err != nil {
-		return nil, 0, err
-	}
-	s.snap.Store(snap)
-	return snap.an, snap.version, nil
-}
-
-func (s *Server) build(r *http.Request) (*snapshot, error) {
-	ctx := r.Context()
-	v := s.Lake.Version()
-	an, err := analysis.NewFromLake(ctx, s.Lake, s.Geo, lake.Predicate{}, s.TopK)
+	snap, err := s.build(r.Context())
 	if err != nil {
 		return nil, err
 	}
-	return &snapshot{version: v, builtAt: time.Now().UTC(), an: an}, nil
+	s.snap.Store(snap)
+	return snap, nil
+}
+
+// stale reports whether the snapshot lags the lake or the inspector.
+func (s *Server) stale(cur *snapshot) bool {
+	return cur.version != s.Lake.Version() || cur.inspGen != s.inspGen.Load()
+}
+
+func (s *Server) build(ctx context.Context) (*snapshot, error) {
+	// The pre-scan reads are only conservative floors: commits (or an
+	// inspector swap) can land between them and the scan, so the snapshot
+	// would carry data newer than its stamps and trigger one redundant
+	// rebuild — never a stale-forever cache. The scan reports the
+	// manifest version it actually used; stamp that (it can never be
+	// below the floor).
+	floor := s.Lake.Version()
+	gen := s.inspGen.Load()
+	an, v, err := analysis.NewFromLakeVersion(ctx, s.Lake, s.Geo, lake.Predicate{}, s.TopK)
+	if err != nil {
+		return nil, err
+	}
+	if v < floor {
+		v = floor
+	}
+	clusters := an.Facts.AliasClusters()
+	merged := an.Facts.MergeAliasClusters(clusters)
+	groups := merged.BuildGroups(s.TopK, 0)
+	profiles, err := classify.ClassifyBusiness(merged, groups, an.ByID, s.inspector())
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{
+		version:  v,
+		inspGen:  gen,
+		builtAt:  time.Now().UTC(),
+		an:       an,
+		merged:   merged,
+		profiles: profiles,
+		clusters: clusters,
+	}, nil
 }
 
 func (s *Server) refreshAsync() {
@@ -99,13 +187,24 @@ func (s *Server) refreshAsync() {
 	}
 	go func() {
 		defer s.refreshing.Store(false)
-		v := s.Lake.Version()
-		an, err := analysis.NewFromLake(context.Background(), s.Lake, s.Geo, lake.Predicate{}, s.TopK)
+		snap, err := s.build(context.Background())
 		if err != nil {
-			return // keep serving the stale snapshot; next request retries
+			// Keep serving the stale snapshot; the next request retries.
+			// Swallowing the error silently hid real rebuild failures.
+			log.Printf("lakeserve: snapshot rebuild failed (serving stale v%d): %v",
+				s.version(), err)
+			return
 		}
-		s.snap.Store(&snapshot{version: v, builtAt: time.Now().UTC(), an: an})
+		s.snap.Store(snap)
 	}()
+}
+
+// version reports the cached snapshot's version (0 = none yet).
+func (s *Server) version() uint64 {
+	if cur := s.snap.Load(); cur != nil {
+		return cur.version
+	}
+	return 0
 }
 
 // Handler builds the route table.
@@ -116,6 +215,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /tables/2", s.handleTable2)
 	mux.HandleFunc("GET /tables/3", s.handleTable3)
 	mux.HandleFunc("GET /top-publishers", s.handleTopPublishers)
+	mux.HandleFunc("GET /publishers/classified", s.handleClassified)
+	mux.HandleFunc("GET /fakes", s.handleFakes)
 	mux.HandleFunc("GET /torrents/{id}/observations", s.handleObservations)
 	return mux
 }
@@ -208,6 +309,131 @@ func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
 			Username: u.Username, Torrents: len(u.TorrentIDs),
 			Downloads: u.Downloads, Fake: u.Fake(),
 		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Torrents != rows[j].Torrents {
+			return rows[i].Torrents > rows[j].Torrents
+		}
+		return rows[i].Username < rows[j].Username
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	writeJSON(w, rows)
+}
+
+// ClassifiedPublisher is one /publishers/classified row: a top publisher
+// (alias clusters merged into one operator) with its Section 5.1 business
+// class.
+type ClassifiedPublisher struct {
+	Username string `json:"username"`
+	Class    string `json:"class"`
+	URL      string `json:"url,omitempty"`
+	Language string `json:"language,omitempty"`
+	Torrents int    `json:"torrents"`
+	// Downloads counts distinct downloader IPs across the operator's
+	// torrents.
+	Downloads int `json:"downloads"`
+	// Channels counts promo sightings per channel name.
+	Channels map[string]int `json:"channels,omitempty"`
+	// Aliases lists every username folded into this operator when it is
+	// an alias cluster.
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+func (s *Server) handleClassified(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.classified(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	clusterOf := map[string][]string{}
+	for _, c := range snap.clusters {
+		clusterOf[c.Usernames[0]] = c.Usernames
+	}
+	n := intParam(r, "n", 20)
+	rows := make([]ClassifiedPublisher, 0, len(snap.profiles))
+	for _, p := range snap.profiles {
+		row := ClassifiedPublisher{
+			Username:  p.Username,
+			Class:     p.Class.String(),
+			URL:       p.URL,
+			Language:  p.Language,
+			Torrents:  p.Torrents,
+			Downloads: p.Downloads,
+			Aliases:   clusterOf[p.Username],
+		}
+		if len(p.Channels) > 0 {
+			row.Channels = map[string]int{}
+			for ch, c := range p.Channels {
+				row.Channels[ch.String()] = c
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Torrents != rows[j].Torrents {
+			return rows[i].Torrents > rows[j].Torrents
+		}
+		return rows[i].Username < rows[j].Username
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	writeJSON(w, rows)
+}
+
+// FakePublisher is one /fakes row: a username carrying the fake signals —
+// its own account deletion or takedown majority, or membership in an
+// alias cluster (cohort) flagged as one fake operation.
+type FakePublisher struct {
+	Username        string `json:"username"`
+	Torrents        int    `json:"torrents"`
+	RemovedTorrents int    `json:"removed_torrents"`
+	AccountDeleted  bool   `json:"account_deleted"`
+	Downloads       int    `json:"downloads"`
+	// Cohort lists the alias-linked usernames flagged together; SharedIPs
+	// are the seeder IPs that link them.
+	Cohort    []string `json:"cohort,omitempty"`
+	SharedIPs []string `json:"shared_ips,omitempty"`
+}
+
+func (s *Server) handleFakes(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.classified(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	facts := snap.an.Facts
+	fakeCluster := map[string]*classify.AliasCluster{}
+	for i := range snap.clusters {
+		c := &snap.clusters[i]
+		if !c.Fake {
+			continue
+		}
+		for _, name := range c.Usernames {
+			fakeCluster[name] = c
+		}
+	}
+	n := intParam(r, "n", 50)
+	var rows []FakePublisher
+	for name, u := range facts.Users {
+		c := fakeCluster[name]
+		if !u.Fake() && c == nil {
+			continue
+		}
+		row := FakePublisher{
+			Username:        name,
+			Torrents:        len(u.TorrentIDs),
+			RemovedTorrents: u.RemovedTorrents,
+			AccountDeleted:  u.AccountDeleted,
+			Downloads:       u.Downloads,
+		}
+		if c != nil {
+			row.Cohort = c.Usernames
+			row.SharedIPs = c.SharedIPs
+		}
+		rows = append(rows, row)
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Torrents != rows[j].Torrents {

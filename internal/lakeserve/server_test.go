@@ -150,6 +150,59 @@ func TestEndpoints(t *testing.T) {
 	}
 }
 
+// TestClassifiedAndFakesEndpoints covers the Section 5 serving layer:
+// /publishers/classified labels the top group (Altruist with no promos in
+// this fixture) and /fakes surfaces the deleted account.
+func TestClassifiedAndFakesEndpoints(t *testing.T) {
+	lk := seedLake(t, lake.Options{})
+	srv := newServer(t, lk)
+
+	code, body := get(t, srv.URL+"/publishers/classified")
+	if code != http.StatusOK {
+		t.Fatalf("/publishers/classified = %d: %s", code, body)
+	}
+	var rows []lakeserve.ClassifiedPublisher
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	// 8 publishers, one fake (publisher00): seven classified rows.
+	if len(rows) != 7 {
+		t.Fatalf("classified rows = %d, want 7", len(rows))
+	}
+	for _, row := range rows {
+		if row.Username == "publisher00" {
+			t.Fatal("fake publisher in the classified top group")
+		}
+		if row.Class != "Altruistic Publishers" || row.Torrents != 5 || row.Downloads == 0 {
+			t.Fatalf("classified row = %+v", row)
+		}
+	}
+
+	code, body = get(t, srv.URL+"/fakes")
+	if code != http.StatusOK {
+		t.Fatalf("/fakes = %d: %s", code, body)
+	}
+	var fakes []lakeserve.FakePublisher
+	if err := json.Unmarshal(body, &fakes); err != nil {
+		t.Fatal(err)
+	}
+	if len(fakes) != 1 || fakes[0].Username != "publisher00" || !fakes[0].AccountDeleted {
+		t.Fatalf("fakes = %+v", fakes)
+	}
+
+	// A quiet lake must serve a snapshot stamped with the lake's exact
+	// version — a stale stamp would trigger a redundant rebuild on every
+	// request.
+	_, body = get(t, srv.URL+"/stats")
+	var stats lakeserve.StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.AnalysisVersion != lk.Version() {
+		t.Fatalf("analysis version %d, lake version %d", stats.AnalysisVersion, lk.Version())
+	}
+}
+
 // TestConcurrentRequestsOverLiveLake is the acceptance gate: >= 64
 // concurrent /tables/2 requests against a lake a live writer is
 // appending to (with auto-compaction on), under the race detector, with

@@ -49,6 +49,12 @@ type Params struct {
 	// OVH (paper: >50 %).
 	HostedTopShare   float64
 	OVHShareOfHosted float64
+
+	// Scenarios switches on adversarial publisher behaviour profiles
+	// (zero = the cooperative base world). Scenario draws come from their
+	// own derived streams, so the base world is unchanged when a profile
+	// is off.
+	Scenarios Scenario
 }
 
 // DefaultParams returns the pb10-calibrated parameter set at the given
@@ -255,6 +261,7 @@ func Generate(p Params, db *geoip.DB) (*World, error) {
 	gen.makeTopPublishers(TopWeb, nWeb, counts[TopWeb])
 	gen.makeTopPublishers(TopAltruistic, nAlt, counts[TopAltruistic])
 	gen.makeRegularPublishers(nReg, regTotal)
+	gen.applyScenarios(total)
 	if gen.err != nil {
 		return nil, gen.err
 	}
@@ -760,6 +767,12 @@ func (g *generator) makeTorrents() error {
 			}
 		}
 		weights := pub.CatWeights[:]
+		// Publication window: the whole campaign, unless the publisher
+		// runs a constrained burst (the fake-blitz scenario).
+		offset, span := time.Duration(0), campaign
+		if pub.PublishSpan > 0 {
+			offset, span = pub.PublishOffset, pub.PublishSpan
+		}
 		var mine []*Torrent
 		for i := 0; i < count; i++ {
 			cat := Category(s.WeightedChoice(weights))
@@ -777,7 +790,7 @@ func (g *generator) makeTorrents() error {
 				Language:    lang,
 				PublisherID: pub.ID,
 				Username:    pub.Usernames[0],
-				Published:   g.w.Start.Add(time.Duration(s.Float64() * float64(campaign))),
+				Published:   g.w.Start.Add(offset + time.Duration(s.Float64()*float64(span))),
 				Fake:        isFake,
 				Malware:     pub.Class == FakeMalware,
 				Copyrighted: copyrighted(s, cat),
@@ -796,8 +809,13 @@ func (g *generator) makeTorrents() error {
 			g.w.Torrents = append(g.w.Torrents, tor)
 			mine = append(mine, tor)
 		}
-		if pub.Class.IsFake() {
+		switch {
+		case pub.StickyAccount:
+			g.planStickyPurge(s, pub, mine)
+		case pub.Class.IsFake():
 			g.assignFakeUsernames(s, pub, mine)
+		case len(pub.Usernames) > 1:
+			assignAliasUsernames(pub, mine)
 		}
 	}
 	return nil

@@ -14,6 +14,7 @@ package population
 import (
 	"fmt"
 	"net/netip"
+	"strings"
 	"time"
 )
 
@@ -192,6 +193,91 @@ type Site struct {
 	Language       string  // "" = international; else ISO code (es, it, nl, sv)
 }
 
+// Scenario is a bitmask of adversarial publisher behaviour profiles: the
+// hostile patterns the paper's crawler met on Mininova and The Pirate Bay,
+// layered on top of the cooperative base world. The zero value leaves the
+// base world untouched.
+type Scenario uint
+
+const (
+	// ScenarioAliasing converts some profit-driven top publishers into
+	// multi-account operators: uploads rotate round-robin across several
+	// portal usernames that all seed from the operator's one IP pool —
+	// §3.3's "45 % of the top IPs are used by more than one username".
+	ScenarioAliasing Scenario = 1 << iota
+	// ScenarioIPChurn puts some commercial-ISP top publishers on fast
+	// dynamic-IP churn, a fresh address from the same provider for almost
+	// every upload (the paper's 24 % dynamic case, exaggerated).
+	ScenarioIPChurn
+	// ScenarioFakeBlitz adds an antipiracy agency that mass-publishes its
+	// whole decoy inventory in a short burst, all of it taken down by
+	// moderation — the mn08-style index-poisoning wave.
+	ScenarioFakeBlitz
+	// ScenarioAccountPurge adds top-scale fake publishers that keep one
+	// long-lived account until the portal deletes the account and every
+	// live upload wholesale mid-campaign (the paper's 16 compromised
+	// usernames removed from its top-100).
+	ScenarioAccountPurge
+)
+
+// AllScenarios enables every adversarial profile.
+const AllScenarios = ScenarioAliasing | ScenarioIPChurn | ScenarioFakeBlitz | ScenarioAccountPurge
+
+// Has reports whether the mask includes profile f.
+func (s Scenario) Has(f Scenario) bool { return s&f != 0 }
+
+// String implements fmt.Stringer ("none" for the empty mask).
+func (s Scenario) String() string {
+	if s == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, e := range scenarioNames {
+		if s.Has(e.flag) {
+			parts = append(parts, e.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+var scenarioNames = []struct {
+	name string
+	flag Scenario
+}{
+	{"alias", ScenarioAliasing},
+	{"churn", ScenarioIPChurn},
+	{"blitz", ScenarioFakeBlitz},
+	{"purge", ScenarioAccountPurge},
+}
+
+// ParseScenarios maps a comma-separated profile list ("alias,churn,
+// blitz,purge"; "all"; "none" or "") to its Scenario mask.
+func ParseScenarios(s string) (Scenario, error) {
+	var out Scenario
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(strings.ToLower(f))
+		switch f {
+		case "", "none":
+			continue
+		case "all":
+			out |= AllScenarios
+			continue
+		}
+		found := false
+		for _, e := range scenarioNames {
+			if f == e.name {
+				out |= e.flag
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("population: unknown scenario %q", f)
+		}
+	}
+	return out, nil
+}
+
 // IPPolicy describes how a publisher's observable IP address evolves.
 type IPPolicy int
 
@@ -279,6 +365,19 @@ type Publisher struct {
 	// the measurement campaign (visible on the username page).
 	HistoricalTorrents int
 
+	// PublishOffset/PublishSpan constrain this publisher's upload times to
+	// [Start+Offset, Start+Offset+Span] instead of the whole campaign
+	// (zero Span = whole campaign). The fake-blitz scenario uses this to
+	// mass-publish a decoy wave in a short window.
+	PublishOffset time.Duration
+	PublishSpan   time.Duration
+
+	// StickyAccount marks a fake entity that keeps one long-lived username
+	// instead of rotating throwaways; PurgeAt is when the portal deletes
+	// the account — and every live upload with it — wholesale.
+	StickyAccount bool
+	PurgeAt       time.Time
+
 	// PubRate is the expected number of torrents published per day during
 	// the campaign.
 	PubRate float64
@@ -289,6 +388,13 @@ type Publisher struct {
 
 	// CatWeights is this publisher's content-category mix.
 	CatWeights [numCategories]float64
+}
+
+// AliasOperator reports whether the publisher runs several long-lived
+// portal accounts off one seeder pool (the aliasing scenario) — as opposed
+// to fake entities, whose many usernames are rotating throwaways.
+func (p *Publisher) AliasOperator() bool {
+	return len(p.Usernames) > 1 && !p.Class.IsFake()
 }
 
 // ActiveIP returns the address the publisher uses at time t (relative to

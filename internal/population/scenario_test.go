@@ -1,0 +1,214 @@
+package population
+
+import (
+	"testing"
+	"time"
+
+	"btpub/internal/geoip"
+)
+
+func genScenarioWorld(t *testing.T, scale float64, sc Scenario) *World {
+	t.Helper()
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(scale)
+	p.Scenarios = sc
+	w, err := Generate(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func torrentsOf(w *World, pub *Publisher) []*Torrent {
+	var out []*Torrent
+	for _, tor := range w.Torrents {
+		if tor.PublisherID == pub.ID {
+			out = append(out, tor)
+		}
+	}
+	return out
+}
+
+func TestParseScenarios(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Scenario
+	}{
+		{"", 0},
+		{"none", 0},
+		{"alias", ScenarioAliasing},
+		{"alias,churn", ScenarioAliasing | ScenarioIPChurn},
+		{"blitz, purge", ScenarioFakeBlitz | ScenarioAccountPurge},
+		{"all", AllScenarios},
+	}
+	for _, tc := range cases {
+		got, err := ParseScenarios(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScenarios(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseScenarios("alias,bogus"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if got := AllScenarios.String(); got != "alias+churn+blitz+purge" {
+		t.Fatalf("AllScenarios.String() = %q", got)
+	}
+	if got := Scenario(0).String(); got != "none" {
+		t.Fatalf("zero Scenario.String() = %q", got)
+	}
+}
+
+func TestScenarioAliasingSplitsUploadsOverSharedPool(t *testing.T) {
+	w := genScenarioWorld(t, 0.02, ScenarioAliasing)
+	ops := 0
+	for _, pub := range w.Publishers {
+		if !pub.AliasOperator() {
+			continue
+		}
+		ops++
+		if len(pub.Usernames) < 3 {
+			t.Fatalf("operator %d has only %d accounts", pub.ID, len(pub.Usernames))
+		}
+		if pub.NATed || len(pub.IPs) != 2 {
+			t.Fatalf("operator %d not on a reachable 2-IP pool: NAT=%v IPs=%d",
+				pub.ID, pub.NATed, len(pub.IPs))
+		}
+		used := map[string]int{}
+		for _, tor := range torrentsOf(w, pub) {
+			used[tor.Username]++
+		}
+		if len(used) != len(pub.Usernames) {
+			t.Fatalf("operator %d uses %d of %d accounts: %v",
+				pub.ID, len(used), len(pub.Usernames), used)
+		}
+	}
+	if ops == 0 {
+		t.Fatal("no alias operators planted")
+	}
+	// Usernames stay globally unique (the portal rejects duplicates).
+	seen := map[string]bool{}
+	for _, pub := range w.Publishers {
+		for _, u := range pub.Usernames {
+			if seen[u] {
+				t.Fatalf("duplicate username %q", u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestScenarioIPChurn(t *testing.T) {
+	w := genScenarioWorld(t, 0.02, ScenarioIPChurn)
+	churned := 0
+	for _, pub := range w.Publishers {
+		if !pub.Class.IsTop() || pub.IPPolicy != IPDynamic || len(pub.IPs) < 14 {
+			continue
+		}
+		churned++
+		if pub.RotatePeriod >= 8*time.Hour {
+			t.Fatalf("churned publisher %d rotates every %v", pub.ID, pub.RotatePeriod)
+		}
+		if pub.NATed {
+			t.Fatalf("churned publisher %d is NATed", pub.ID)
+		}
+	}
+	if churned == 0 {
+		t.Fatal("no churned publishers planted")
+	}
+}
+
+func TestScenarioFakeBlitzWindow(t *testing.T) {
+	w := genScenarioWorld(t, 0.02, ScenarioFakeBlitz)
+	found := false
+	for _, pub := range w.Publishers {
+		if pub.PublishSpan == 0 {
+			continue
+		}
+		found = true
+		if !pub.Class.IsFake() {
+			t.Fatalf("blitz publisher %d is %v", pub.ID, pub.Class)
+		}
+		lo := w.Start.Add(pub.PublishOffset)
+		hi := lo.Add(pub.PublishSpan)
+		tors := torrentsOf(w, pub)
+		if len(tors) < 25 {
+			t.Fatalf("blitz has only %d torrents", len(tors))
+		}
+		for _, tor := range tors {
+			if tor.Published.Before(lo) || tor.Published.After(hi) {
+				t.Fatalf("blitz torrent published %v outside [%v, %v]", tor.Published, lo, hi)
+			}
+			if tor.RemovalAfter <= 0 {
+				t.Fatal("blitz decoy never removed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no blitz publisher planted")
+	}
+}
+
+func TestScenarioAccountPurge(t *testing.T) {
+	w := genScenarioWorld(t, 0.02, ScenarioAccountPurge)
+	sticky := 0
+	for _, pub := range w.Publishers {
+		if !pub.StickyAccount {
+			continue
+		}
+		sticky++
+		if len(pub.Usernames) != 1 || !pub.Class.IsFake() || pub.PurgeAt.IsZero() {
+			t.Fatalf("sticky fake %d malformed: %+v", pub.ID, pub)
+		}
+		for _, tor := range torrentsOf(w, pub) {
+			if tor.Username != pub.Usernames[0] {
+				t.Fatalf("sticky fake rotated to %q", tor.Username)
+			}
+			if tor.Published.Before(pub.PurgeAt) {
+				end := tor.Published.Add(tor.RemovalAfter)
+				if !end.Equal(pub.PurgeAt) {
+					t.Fatalf("upload at %v removed at %v, want the purge instant %v",
+						tor.Published, end, pub.PurgeAt)
+				}
+			} else if tor.RemovalAfter != 10*time.Minute {
+				t.Fatalf("post-purge upload lives %v", tor.RemovalAfter)
+			}
+		}
+	}
+	if sticky < 2 {
+		t.Fatalf("planted %d sticky fakes, want >= 2", sticky)
+	}
+}
+
+// TestScenariosOffLeaveBaseWorldUntouched pins the opt-in contract: a
+// zero Scenario mask generates the identical world the pre-scenario
+// engine did.
+func TestScenariosOffLeaveBaseWorldUntouched(t *testing.T) {
+	base := genWorld(t, 0.02)
+	for _, pub := range base.Publishers {
+		if pub.StickyAccount || pub.PublishSpan != 0 || !pub.PurgeAt.IsZero() {
+			t.Fatalf("scenario fields set in base world: %+v", pub)
+		}
+		if pub.AliasOperator() {
+			t.Fatalf("alias operator %d in base world", pub.ID)
+		}
+	}
+}
+
+func TestScenarioWorldDeterministic(t *testing.T) {
+	a := genScenarioWorld(t, 0.02, AllScenarios)
+	b := genScenarioWorld(t, 0.02, AllScenarios)
+	if len(a.Torrents) != len(b.Torrents) || len(a.Publishers) != len(b.Publishers) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			len(a.Torrents), len(a.Publishers), len(b.Torrents), len(b.Publishers))
+	}
+	for i := range a.Torrents {
+		x, y := a.Torrents[i], b.Torrents[i]
+		if x.Title != y.Title || x.Username != y.Username || x.Lambda0 != y.Lambda0 ||
+			!x.Published.Equal(y.Published) || x.RemovalAfter != y.RemovalAfter {
+			t.Fatalf("torrent %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -184,6 +184,32 @@ func (p *Portal) Remove(ih metainfo.Hash) error {
 	return nil
 }
 
+// SuspendAccount suspends an account and removes every one of its live
+// uploads at once — the account-level moderation portals apply when they
+// identify a fake operation: the user page and all its torrents disappear
+// together, rather than decoy by decoy.
+func (p *Portal) SuspendAccount(username string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	acc := p.accounts[username]
+	if acc == nil {
+		return ErrNotFound
+	}
+	now := p.clock.Now()
+	if !acc.Suspended {
+		acc.Suspended = true
+		acc.SuspendedAt = now
+	}
+	for _, e := range acc.uploads {
+		if !e.Removed {
+			e.Removed = true
+			e.RemovedAt = now
+		}
+	}
+	p.rev++
+	return nil
+}
+
 // Entry returns the entry for a hash; removed entries yield ErrNotFound
 // (the page and .torrent are gone), matching what the crawler sees.
 func (p *Portal) Entry(ih metainfo.Hash) (*Entry, error) {

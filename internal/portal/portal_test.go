@@ -135,6 +135,44 @@ func TestRemoveHidesEntryAndSuspendsAccount(t *testing.T) {
 	}
 }
 
+func TestSuspendAccountRemovesLiveUploads(t *testing.T) {
+	p, clk := newTestPortal(t)
+	for i := byte(0); i < 3; i++ {
+		if _, err := p.Publish(makeEntry(t, 10+i, "operator")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Publish(makeEntry(t, 20, "bystander")); err != nil {
+		t.Fatal(err)
+	}
+	rev := p.Revision()
+	clk.AdvanceTo(clk.Now().Add(time.Hour))
+	if err := p.SuspendAccount("operator"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SuspendAccount("nobody"); err != ErrNotFound {
+		t.Fatalf("unknown account suspend = %v", err)
+	}
+	if _, err := p.Account("operator"); err != ErrNotFound {
+		t.Fatalf("purged account page = %v", err)
+	}
+	st := p.Stats()
+	if st.Removed != 3 || st.Suspended != 1 {
+		t.Fatalf("stats after purge = %+v", st)
+	}
+	if p.Revision() == rev {
+		t.Fatal("purge did not bump the revision")
+	}
+	// The bystander and its upload survive.
+	if _, err := p.Account("bystander"); err != nil {
+		t.Fatal(err)
+	}
+	// Publishing under the purged account now fails.
+	if _, err := p.Publish(makeEntry(t, 30, "operator")); err != ErrSuspended {
+		t.Fatalf("post-purge publish = %v", err)
+	}
+}
+
 func TestRemoveUnknown(t *testing.T) {
 	p, _ := newTestPortal(t)
 	var ih metainfo.Hash

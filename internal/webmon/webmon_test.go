@@ -3,6 +3,7 @@ package webmon
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"btpub/internal/geoip"
@@ -138,6 +139,59 @@ func TestSitesEnumerated(t *testing.T) {
 	}
 	if got := len(d.Sites()); got != want {
 		t.Fatalf("sites = %d, want %d", got, want)
+	}
+}
+
+func TestNormalizeURL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"www.foo.com", "www.foo.com"},
+		{"http://www.foo.com", "www.foo.com"},
+		{"https://www.foo.com", "www.foo.com"},
+		{"HTTP://WWW.Foo.COM", "www.foo.com"},
+		{"www.foo.com/", "www.foo.com"},
+		{"https://www.foo.com/", "www.foo.com"},
+		{"  www.foo.com  ", "www.foo.com"},
+		{" HTTPS://Forum.MegaBoard.ORG/ ", "forum.megaboard.org"},
+		// Only one scheme prefix and one trailing slash are stripped;
+		// anything beyond that is a different (broken) URL and must not
+		// silently alias a tracked site.
+		{"http://http://www.foo.com", "http://www.foo.com"},
+		{"www.foo.com//", "www.foo.com/"},
+		// "www." is part of the identity, not decoration: population site
+		// names carry it, so stripping it would unlink every directory key.
+		{"www.foo.com", "www.foo.com"},
+		{"foo.com", "foo.com"},
+	}
+	for _, tc := range cases {
+		if got := normalizeURL(tc.in); got != tc.want {
+			t.Errorf("normalizeURL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestSiteURLsAlreadyNormalized pins the www.-consistency contract between
+// population's site-name generator and the directory keys: every generated
+// site URL is its own normal form (lower-case, scheme-less, www./forum.
+// prefix kept), so promo-URL extraction, the directory and the monitors
+// all agree on the key without translation.
+func TestSiteURLsAlreadyNormalized(t *testing.T) {
+	w := buildWorld(t)
+	sites := 0
+	for _, p := range w.Publishers {
+		if p.Site == nil {
+			continue
+		}
+		sites++
+		u := p.Site.URL
+		if normalizeURL(u) != u {
+			t.Errorf("site URL %q is not its own normal form (%q)", u, normalizeURL(u))
+		}
+		if !strings.HasPrefix(u, "www.") && !strings.HasPrefix(u, "forum.") {
+			t.Errorf("site URL %q lacks the www./forum. prefix the promo pattern requires", u)
+		}
+	}
+	if sites == 0 {
+		t.Fatal("no sites generated")
 	}
 }
 
