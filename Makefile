@@ -12,10 +12,11 @@ SHELL := /bin/bash
 ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable2ISP|BenchmarkTable3OVHComcast|BenchmarkSection33CrossAnalysis|BenchmarkFigure2ContentTypes|BenchmarkFigure3Popularity|BenchmarkFigure4aSeedingTime|BenchmarkFigure4bParallel|BenchmarkFigure4cSession|BenchmarkSection51Business|BenchmarkTable4Longitudinal|BenchmarkTable5Income|BenchmarkSection6OVH|BenchmarkAppendixAEstimator
 CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel|BenchmarkCampaignAdversarial
 LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan
+QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: test bench bench-campaign bench-lake bench-smoke fmt vet
+.PHONY: test bench bench-campaign bench-lake bench-query bench-smoke fmt vet
 
 test:
 	go build ./... && go test ./...
@@ -38,10 +39,17 @@ bench-lake:
 	go test -run '^$$' -bench '$(LAKE_BENCH)' -benchtime=20x -benchmem -timeout 20m . \
 		| go run ./cmd/benchjson -o BENCH_lake_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkLake'
 
-# One cheap 1x pass of the campaign + lake benches with every alloc
-# ceiling enforced, for CI.
+# The query-engine benchmarks: the same 2% time-window grouped
+# aggregate through the lake executor (zone-map pushdown) and the
+# in-memory executor, over a 1M-observation store, ceilings enforced.
+bench-query:
+	go test -run '^$$' -bench '$(QUERY_BENCH)' -benchtime=20x -benchmem -timeout 20m . \
+		| go run ./cmd/benchjson -o BENCH_query_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkQuery'
+
+# One cheap 1x pass of the campaign + lake + query benches with every
+# alloc ceiling enforced, for CI.
 bench-smoke:
-	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)|$(LAKE_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
+	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)|$(LAKE_BENCH)|$(QUERY_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
 		| go run ./cmd/benchjson -ceilings ci/bench-ceilings.txt
 
 fmt:

@@ -10,6 +10,9 @@
 //	btpub-analyze -in pb10.jsonl -import pb10.lake
 //	                                           migrate JSONL into a lake,
 //	                                           then analyze from the lake
+//	btpub-analyze -remote http://127.0.0.1:8813
+//	                                           render the tables from a
+//	                                           running btpub-serve
 package main
 
 import (
@@ -17,10 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
 	"btpub/internal/analysis"
+	"btpub/internal/apiclient"
 	"btpub/internal/dataset"
 	"btpub/internal/geoip"
 	"btpub/internal/lake"
@@ -48,9 +54,21 @@ func main() {
 	in := flag.String("in", "pb10.jsonl", "dataset path (JSONL)")
 	lakeDir := flag.String("lake", "", "analyze this lake directory instead of -in")
 	imp := flag.String("import", "", "import -in into this lake directory, then analyze from the lake")
-	topK := flag.Int("topk", 0, "top-K publisher cut (0 = the paper's 3% rule)")
+	remote := flag.String("remote", "", "render the tables from a running btpub-serve at this base URL")
+	topK := flag.Int("topk", 0, "top-K publisher cut (0 = the paper's 3% rule; local modes only)")
 	gap := flag.Duration("gap", 0, "session gap threshold (0 = the paper's ~4h)")
+	n := flag.Int("n", 10, "Table 2 row count (with -remote)")
 	flag.Parse()
+
+	if *remote != "" {
+		if *lakeDir != "" || *imp != "" {
+			log.Fatal("-remote is mutually exclusive with -lake and -import")
+		}
+		if err := runRemote(*remote, *n); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	db, err := geoip.DefaultDB()
 	if err != nil {
@@ -90,6 +108,36 @@ func main() {
 	fmt.Println(analysis.RenderHostingIncome(name, a.HostingIncomeFor(geoip.OVH)))
 
 	_ = time.Now
+}
+
+// runRemote renders the server-side tables: the exact text a local
+// analysis would print, but produced by the running btpub-serve from its
+// cached snapshot — no dataset ever leaves the server.
+func runRemote(base string, n int) error {
+	c := apiclient.New(base)
+	ctx := context.Background()
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("remote lake %s: v%d, %d segments, %d observations, %d torrents (analysis v%d)\n\n",
+		st.Lake.Name, st.Lake.Version, st.Lake.Segments, st.Lake.Observations,
+		st.Lake.Torrents, st.AnalysisVersion)
+	for _, table := range []struct {
+		id    int
+		extra url.Values
+	}{
+		{1, nil},
+		{2, url.Values{"n": {strconv.Itoa(n)}}},
+		{3, nil},
+	} {
+		txt, err := c.TableText(ctx, table.id, table.extra)
+		if err != nil {
+			return err
+		}
+		fmt.Println(txt)
+	}
+	return nil
 }
 
 // loadDataset resolves the three input modes: plain JSONL, lake, or the

@@ -1,0 +1,196 @@
+// btpub-query runs one composable query against an observation lake —
+// either a local lake directory (the query executes in-process with
+// zone-map pushdown) or a running btpub-serve instance (the same Query
+// goes over POST /api/v1/query). Flags compile straight into a
+// query.Query, so everything the API can express, the CLI can ask.
+//
+// Examples:
+//
+//	# top ISPs by distinct downloader IPs, from a local lake
+//	btpub-query -lake pb10.lake -group isp -aggs distinct-ips,observations \
+//	    -order distinct-ips -desc -limit 10
+//
+//	# per-publisher seeder sightings in a time window, from a server
+//	btpub-query -remote http://127.0.0.1:8813 -group publisher \
+//	    -aggs seeders,observations -min 2010-04-10T00:00:00Z -seeders
+//
+//	# raw observations of one torrent
+//	btpub-query -lake pb10.lake -select observations -torrents 17 -limit 20
+//
+//	# page through a big result
+//	btpub-query -lake pb10.lake -group torrent -aggs max-swarm -limit 1000 -cursor <tok>
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"btpub/internal/apiclient"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+	"btpub/internal/query"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lakeDir := flag.String("lake", "", "query this local lake directory")
+	remote := flag.String("remote", "", "query a running btpub-serve at this base URL instead of a local lake")
+	sel := flag.String("select", "", "result shape: groups (default) or observations")
+	minT := flag.String("min", "", "min observation time (RFC3339, inclusive)")
+	maxT := flag.String("max", "", "max observation time (RFC3339, inclusive)")
+	torrents := flag.String("torrents", "", "comma-separated torrent IDs")
+	publishers := flag.String("publishers", "", "comma-separated publisher usernames")
+	isps := flag.String("isps", "", "comma-separated peer ISPs")
+	countries := flag.String("countries", "", "comma-separated peer countries")
+	seeders := flag.Bool("seeders", false, "seeder sightings only")
+	group := flag.String("group", "", "group by: publisher|isp|country|torrent|content-type|time-bucket")
+	bucket := flag.Duration("bucket", 0, "time-bucket width (with -group time-bucket), e.g. 6h")
+	aggs := flag.String("aggs", "", "comma-separated aggregates: observations,distinct-ips,seeders,torrents,max-swarm")
+	order := flag.String("order", "", "order rows by \"key\" or one of the requested aggregates")
+	desc := flag.Bool("desc", false, "descending order")
+	limit := flag.Int("limit", 0, "row limit (0 = all); a truncated result prints a next cursor")
+	cursor := flag.String("cursor", "", "resume a paginated walk")
+	asJSON := flag.Bool("json", false, "print the raw JSON result instead of a table")
+	flag.Parse()
+
+	if (*lakeDir == "") == (*remote == "") {
+		return fmt.Errorf("exactly one of -lake or -remote is required")
+	}
+
+	q := query.Query{
+		Select: *sel,
+		Filter: query.Filter{
+			TorrentIDs:  nil,
+			Publishers:  csv(*publishers),
+			ISPs:        csv(*isps),
+			Countries:   csv(*countries),
+			SeedersOnly: *seeders,
+		},
+		GroupBy: query.GroupBy{Key: *group, Bucket: query.Duration(*bucket)},
+		Aggs:    csv(*aggs),
+		OrderBy: query.OrderBy{Field: *order, Desc: *desc},
+		Limit:   *limit,
+		Cursor:  *cursor,
+	}
+	var err error
+	if q.Filter.MinTime, err = parseTime(*minT, "-min"); err != nil {
+		return err
+	}
+	if q.Filter.MaxTime, err = parseTime(*maxT, "-max"); err != nil {
+		return err
+	}
+	if *torrents != "" {
+		for _, s := range csv(*torrents) {
+			id, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("-torrents: %q is not an integer", s)
+			}
+			q.Filter.TorrentIDs = append(q.Filter.TorrentIDs, id)
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	res, err := execute(ctx, q, *lakeDir, *remote)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(res)
+	}
+	return render(os.Stdout, q, res)
+}
+
+func execute(ctx context.Context, q query.Query, lakeDir, remote string) (*query.Result, error) {
+	if remote != "" {
+		return apiclient.New(remote).Query(ctx, q)
+	}
+	lk, err := lake.Open(lakeDir, lake.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer lk.Close()
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := query.NewLake(lk, db)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Execute(ctx, q)
+}
+
+// render prints the result as an aligned table.
+func render(out *os.File, q query.Query, res *query.Result) error {
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	if res.Observations != nil || q.Select == query.SelectObservations {
+		fmt.Fprintln(tw, "TORRENT\tIP\tAT\tSEEDER")
+		for _, o := range res.Observations {
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%v\n", o.TorrentID, o.IP, o.At.Format(time.RFC3339), o.Seeder)
+		}
+	} else {
+		// Column order follows the requested aggregates (default applies
+		// when none were named).
+		names := q.Aggs
+		if len(names) == 0 {
+			names = []string{query.AggObservations}
+		}
+		fmt.Fprintf(tw, "KEY\t%s\n", strings.ToUpper(strings.Join(names, "\t")))
+		for _, g := range res.Groups {
+			key := g.Key
+			if key == "" {
+				key = "(all)"
+			}
+			fmt.Fprint(tw, key)
+			for _, a := range names {
+				fmt.Fprintf(tw, "\t%d", g.Aggs[a])
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n%d row(s) of %d total\n", len(res.Groups)+len(res.Observations), res.Total)
+	if res.NextCursor != "" {
+		fmt.Fprintf(out, "next page: -cursor %s\n", res.NextCursor)
+	}
+	return nil
+}
+
+func csv(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+func parseTime(s, flagName string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("%s: %q is not RFC3339 (e.g. 2010-04-06T00:00:00Z)", flagName, s)
+	}
+	return t, nil
+}

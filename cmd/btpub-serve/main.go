@@ -15,25 +15,29 @@
 //	# demo: ingest a live simulated campaign while serving it
 //	btpub-serve -lake live.lake -live -scale 0.02
 //
-// Endpoints (see internal/lakeserve):
+// Endpoints (see internal/lakeserve; every route also answers on the
+// deprecated un-prefixed legacy path):
 //
-//	curl localhost:8813/stats
-//	curl localhost:8813/tables/1
-//	curl 'localhost:8813/tables/2?n=10&format=json'
-//	curl 'localhost:8813/tables/3?isps=OVH,Comcast'
-//	curl 'localhost:8813/top-publishers?n=20'
-//	curl 'localhost:8813/publishers/classified?n=20'
-//	curl 'localhost:8813/fakes?n=50'
-//	curl 'localhost:8813/torrents/17/observations?limit=100'
+//	curl localhost:8813/api/v1/stats
+//	curl localhost:8813/api/v1/tables/1
+//	curl 'localhost:8813/api/v1/tables/2?n=10&format=json'
+//	curl 'localhost:8813/api/v1/tables/3?isps=OVH,Comcast'
+//	curl 'localhost:8813/api/v1/top-publishers?n=20'
+//	curl 'localhost:8813/api/v1/publishers/classified?n=20'
+//	curl 'localhost:8813/api/v1/fakes?n=50'
+//	curl 'localhost:8813/api/v1/torrents/17/observations?limit=100'
+//	curl -d '{"group_by":{"key":"isp"},"aggs":["distinct-ips"]}' localhost:8813/api/v1/query
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"btpub/internal/campaign"
 	"btpub/internal/dataset"
@@ -51,8 +55,9 @@ func main() {
 }
 
 // run keeps every exit path behind the deferred lake Close (log.Fatal
-// would skip it); SIGINT/SIGTERM also close the lake — flushing pending
-// state and deleting compaction-retired files — before exiting.
+// would skip it). SIGINT/SIGTERM drain the HTTP server first —
+// in-flight lake scans finish cleanly — and then the deferred Close
+// flushes pending state and deletes compaction-retired files.
 func run() error {
 	dir := flag.String("lake", "pb10.lake", "lake directory")
 	addr := flag.String("http", "127.0.0.1:8813", "listen address")
@@ -73,14 +78,6 @@ func run() error {
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sigc
-		log.Printf("%v: closing lake", s)
-		if err := lk.Close(); err != nil {
-			log.Printf("lake close: %v", err)
-		}
-		os.Exit(0)
-	}()
 
 	if *imp != "" {
 		ds, err := dataset.Load(*imp)
@@ -131,5 +128,27 @@ func run() error {
 	st := lk.Stats()
 	log.Printf("serving lake %s (v%d, %d segments, %d observations, %d torrents) on http://%s",
 		*dir, st.Version, st.Segments, st.Observations, st.Torrents, *addr)
-	return http.ListenAndServe(*addr, srv.Handler())
+
+	// Serve behind an http.Server so a signal drains in-flight requests
+	// (long lake scans included) via Shutdown instead of killing them
+	// mid-response. A -live campaign still streaming at that point is
+	// not awaited: once the deferred Close marks the lake closed, its
+	// remaining appends are refused with a clean "lake: closed" error
+	// (logged by the campaign goroutine) — committed state stays
+	// consistent either way.
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sigc:
+		log.Printf("%v: draining connections, then closing lake", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		return nil
+	}
 }

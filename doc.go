@@ -100,11 +100,42 @@
 // so a commit racing the build never forces a redundant rebuild;
 // single-flight, stale-while-revalidate), so many concurrent /tables
 // requests over a live lake cost one index build per committed version.
-// Endpoints: /stats, /tables/{1,2,3}, /top-publishers,
-// /publishers/classified, /fakes, /torrents/{id}/observations.
 // Migration from JSONL:
 // `btpub-analyze -in pb10.jsonl -import pb10.lake`, thereafter
 // `btpub-analyze -lake pb10.lake` / `btpub-serve -lake pb10.lake`.
+//
+// # Unified query API (/api/v1)
+//
+// internal/query is the one composable query engine behind every API
+// surface: query.Query{Filter{MinTime, MaxTime, TorrentIDs, Publishers,
+// ISPs, Countries, SeedersOnly}, GroupBy{publisher|isp|country|torrent|
+// content-type|time-bucket}, Aggs{observations, distinct-ips, seeders,
+// torrents, max-swarm}, OrderBy, Limit, Cursor}, with two executors
+// required (and tested, over an adversarial-scenario campaign) to
+// return identical rows: query.NewMemory runs over an in-memory
+// dataset, query.NewLake compiles the filter into a lake.Predicate for
+// zone-map pushdown — a 2% time-window grouped aggregate over a
+// 1M-observation lake opens at most two segments — and folds the
+// streamed batches without materializing a dataset. Grouped rows order
+// deterministically (OrderBy field, then key), paginate via opaque
+// cursors signed against the query, and every invalid query yields a
+// structured *query.Error (FuzzQueryDecode holds the decoder to that).
+//
+// internal/lakeserve mounts everything under the versioned /api/v1
+// prefix: POST /api/v1/query plus the canned views (/stats,
+// /tables/{1,2,3}, /top-publishers, /publishers/classified, /fakes,
+// and /torrents/{id}/observations — the latter reimplemented as a
+// canned Select-observations query through the same executor). The
+// pre-v1 paths remain as deprecated thin aliases of the same handlers
+// (byte-identical bodies, Deprecation header), every 4xx/5xx carries
+// the {"error": {code, message}} envelope — including the mux's own
+// 404/405 — and the shared GET parameters (n, limit, format, isps) are
+// bounds-checked by one helper instead of per-handler parsing.
+// internal/apiclient speaks the wire format from Go (typed errors from
+// the envelope); cmd/btpub-query compiles flags into a Query against a
+// local lake or a remote server; btpub-analyze -remote renders the
+// server's tables; and btpub-serve drains in-flight requests via
+// http.Server.Shutdown on SIGINT/SIGTERM before closing the lake.
 //
 // # Adversarial publisher scenarios
 //
@@ -131,13 +162,14 @@
 // The tier-1 gate is `go build ./... && go test ./...`; CI additionally
 // runs `go vet`, gofmt, the race detector (including the lake's
 // reader-during-compaction tests), a dirty-working-tree check after the
-// tests, short fuzz smokes of the observation-line codec and the
-// promo-URL extractor, and a 1x smoke pass of the campaign and lake
-// benchmarks (cooperative and adversarial) whose
-// allocs/op are gated against checked-in ceilings
-// (ci/bench-ceilings.txt, enforced by cmd/benchjson) so allocation
-// regressions fail loudly. `make bench` runs the E1–E15 suite with
-// -benchmem and records BENCH_<date>.json for the perf trajectory;
-// `make bench-lake` does the same for lake ingest/scan. See README.md
-// for the shard/worker knobs on each binary and the measured speedups.
+// tests, short fuzz smokes of the observation-line codec, the promo-URL
+// extractor and the query decoder, and a 1x smoke pass of the campaign,
+// lake and query-engine benchmarks whose allocs/op are gated against
+// checked-in ceilings (ci/bench-ceilings.txt, enforced by
+// cmd/benchjson) so allocation regressions fail loudly. `make bench`
+// runs the E1–E15 suite with -benchmem and records BENCH_<date>.json
+// for the perf trajectory; `make bench-lake` and `make bench-query` do
+// the same for lake ingest/scan and the two query executors. See
+// README.md for the shard/worker knobs on each binary and the measured
+// speedups.
 package btpub

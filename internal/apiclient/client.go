@@ -1,0 +1,201 @@
+// Package apiclient is the Go client for the btpub-serve /api/v1 wire
+// format: the composable query endpoint plus the canned paper views,
+// with every non-2xx response decoded from the server's error envelope
+// into a typed *Error. It is what cmd/btpub-query's -remote mode and
+// btpub-analyze's -remote mode speak; anything else that needs a lake
+// server programmatically should go through it rather than hand-rolling
+// HTTP calls.
+package apiclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"btpub/internal/lakeserve"
+	"btpub/internal/query"
+)
+
+// Client talks to one btpub-serve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8813". The
+	// /api/v1 prefix is appended per request.
+	BaseURL string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New builds a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Error is a decoded server error envelope.
+type Error struct {
+	Status  int    // HTTP status
+	Code    string // envelope code ("bad_query", "not_found", ...)
+	Message string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("server error %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// doRaw runs one request against an /api/v1 path and returns the raw
+// 2xx body; non-2xx responses are decoded from the error envelope. All
+// transport plumbing lives here so JSON and text endpoints share it.
+func (c *Client) doRaw(ctx context.Context, method, path string, in any) ([]byte, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+lakeserve.APIPrefix+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+// do is doRaw plus JSON decoding into out (ignored when out is nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	raw, err := c.doRaw(ctx, method, path, in)
+	if err != nil || out == nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("apiclient: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx body into a *Error, surviving servers
+// that answered with something other than the envelope.
+func decodeError(status int, raw []byte) *Error {
+	var env lakeserve.ErrorBody
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		return &Error{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	msg := strings.TrimSpace(string(raw))
+	if len(msg) > 200 {
+		msg = msg[:200] + "…"
+	}
+	return &Error{Status: status, Code: "unexpected_response", Message: msg}
+}
+
+// Query runs one composable query (POST /api/v1/query).
+func (c *Client) Query(ctx context.Context, q query.Query) (*query.Result, error) {
+	var res query.Result
+	if err := c.do(ctx, http.MethodPost, "/query", q, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats fetches the lake + snapshot status.
+func (c *Client) Stats(ctx context.Context) (*lakeserve.StatsResponse, error) {
+	var st lakeserve.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// TopPublishers fetches the top-publisher ranking (n <= 0 keeps the
+// server default).
+func (c *Client) TopPublishers(ctx context.Context, n int) ([]lakeserve.TopPublisher, error) {
+	var rows []lakeserve.TopPublisher
+	if err := c.do(ctx, http.MethodGet, "/top-publishers"+countParam(n), nil, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Classified fetches the Section 5.1 business classification.
+func (c *Client) Classified(ctx context.Context, n int) ([]lakeserve.ClassifiedPublisher, error) {
+	var rows []lakeserve.ClassifiedPublisher
+	if err := c.do(ctx, http.MethodGet, "/publishers/classified"+countParam(n), nil, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Fakes fetches the fake publishers and their cohorts.
+func (c *Client) Fakes(ctx context.Context, n int) ([]lakeserve.FakePublisher, error) {
+	var rows []lakeserve.FakePublisher
+	if err := c.do(ctx, http.MethodGet, "/fakes"+countParam(n), nil, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Observations fetches one torrent's sightings (limit <= 0 keeps the
+// server default).
+func (c *Client) Observations(ctx context.Context, torrentID, limit int) ([]lakeserve.ObservationRow, error) {
+	path := fmt.Sprintf("/torrents/%d/observations", torrentID)
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var rows []lakeserve.ObservationRow
+	if err := c.do(ctx, http.MethodGet, path, nil, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// TableText fetches one of the paper tables (1–3) rendered as text,
+// exactly as btpub-analyze prints it. extra carries optional parameters
+// (n, isps).
+func (c *Client) TableText(ctx context.Context, table int, extra url.Values) (string, error) {
+	if table < 1 || table > 3 {
+		return "", fmt.Errorf("apiclient: table must be 1..3 (got %d)", table)
+	}
+	path := "/tables/" + strconv.Itoa(table)
+	if len(extra) > 0 {
+		path += "?" + extra.Encode()
+	}
+	raw, err := c.doRaw(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func countParam(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	return "?n=" + strconv.Itoa(n)
+}

@@ -1,0 +1,141 @@
+package apiclient_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"btpub/internal/apiclient"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+	"btpub/internal/lakeserve"
+	"btpub/internal/query"
+)
+
+var cT0 = time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+
+// newClient spins a lakeserve instance over a small seeded lake and
+// returns a client for it.
+func newClient(t *testing.T) *apiclient.Client {
+	t.Helper()
+	lk, err := lake.Open(filepath.Join(t.TempDir(), "lake"), lake.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lk.Close() })
+	ds := &dataset.Dataset{Name: "client-test", Start: cT0, End: cT0.Add(48 * time.Hour)}
+	for i := 0; i < 12; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, InfoHash: fmt.Sprintf("%040d", i),
+			Title: fmt.Sprintf("Content.%d", i), Category: "Video > Movies",
+			Username:  fmt.Sprintf("pub%02d", i%3),
+			Published: cT0.Add(time.Duration(i) * time.Hour),
+		})
+		for j := 0; j < 10; j++ {
+			ds.AddObservation(dataset.Observation{
+				TorrentID: i, IP: fmt.Sprintf("20.0.%d.%d", j%3, (i*10+j)%200),
+				At:     cT0.Add(time.Duration(i)*time.Hour + time.Duration(j)*5*time.Minute),
+				Seeder: j == 0,
+			})
+		}
+	}
+	for u := 0; u < 3; u++ {
+		ds.Users = append(ds.Users, dataset.UserRecord{Username: fmt.Sprintf("pub%02d", u), Exists: true})
+	}
+	if err := lk.ImportDataset(dataset.Merge("client-test", ds)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&lakeserve.Server{Lake: lk, Geo: db}).Handler())
+	t.Cleanup(srv.Close)
+	c := apiclient.New(srv.URL)
+	c.HTTP = srv.Client()
+	return c
+}
+
+func TestClientRoundTrips(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lake.Observations != 120 || st.Lake.Torrents != 12 {
+		t.Fatalf("stats = %+v", st.Lake)
+	}
+
+	res, err := c.Query(ctx, query.Query{
+		GroupBy: query.GroupBy{Key: query.ByPublisher},
+		Aggs:    []string{query.AggObservations, query.AggTorrents},
+		OrderBy: query.OrderBy{Field: query.AggObservations, Desc: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 3 || res.Groups[0].Aggs[query.AggTorrents] != 4 {
+		t.Fatalf("query result = %+v", res)
+	}
+
+	tops, err := c.TopPublishers(ctx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tops) != 2 {
+		t.Fatalf("top publishers = %+v", tops)
+	}
+
+	obs, err := c.Observations(ctx, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 5 {
+		t.Fatalf("observations = %+v", obs)
+	}
+
+	txt, err := c.TableText(ctx, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "Table 1") {
+		t.Fatalf("table text = %q", txt)
+	}
+
+	if _, err := c.Classified(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fakes(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientDecodesEnvelope(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+
+	_, err := c.Query(ctx, query.Query{GroupBy: query.GroupBy{Key: "bogus"}})
+	var ae *apiclient.Error
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *apiclient.Error: %v", err, err)
+	}
+	if ae.Status != 400 || ae.Code != "bad_query" || ae.Message == "" {
+		t.Fatalf("decoded error = %+v", ae)
+	}
+
+	_, err = c.TableText(ctx, 2, map[string][]string{"n": {"0"}})
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %T is not *apiclient.Error: %v", err, err)
+	}
+	if ae.Status != 400 || ae.Code != "bad_param" {
+		t.Fatalf("decoded error = %+v", ae)
+	}
+}

@@ -293,7 +293,9 @@ func TestAdversarialServedFromLake(t *testing.T) {
 	}
 
 	var fakes []lakeserve.FakePublisher
-	get("/fakes?n=0", &fakes)
+	// n<=0 is a 400 under the bounds-checked /api/v1 params; ask for the
+	// maximum instead to see every fake.
+	get("/fakes?n=100000", &fakes)
 	served := map[string]bool{}
 	for _, row := range fakes {
 		served[row.Username] = true
@@ -305,7 +307,7 @@ func TestAdversarialServedFromLake(t *testing.T) {
 	}
 
 	var rows []lakeserve.ClassifiedPublisher
-	get("/publishers/classified?n=0", &rows)
+	get("/publishers/classified?n=100000", &rows)
 	if len(rows) == 0 {
 		t.Fatal("empty /publishers/classified")
 	}

@@ -1,0 +1,269 @@
+// The versioned HTTP surface: every route lives under /api/v1, the
+// pre-v1 paths stay mounted as thin aliases of the same handlers (so
+// existing curl workflows and tests keep working byte for byte), every
+// 4xx/5xx response carries one error envelope, and POST /api/v1/query
+// exposes the composable query engine the canned endpoints are built
+// on.
+package lakeserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"btpub/internal/query"
+)
+
+// APIPrefix is the versioned mount point.
+const APIPrefix = "/api/v1"
+
+// maxCount bounds the n= and limit= GET parameters.
+const maxCount = 100_000
+
+// maxQueryBody bounds a POST /api/v1/query body.
+const maxQueryBody = 1 << 20
+
+// ErrorBody is the envelope every non-2xx response carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is the envelope payload: a stable machine-readable code
+// plus a human message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError is an error that knows its HTTP rendering.
+type apiError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("%s: %s", e.code, e.message) }
+
+func paramErr(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_param", message: fmt.Sprintf(format, args...)}
+}
+
+// writeError renders the envelope with the JSON content type.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+}
+
+// fail maps an error to its envelope: parameter and query errors are
+// the client's fault (400), everything else is ours (500).
+func fail(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		writeError(w, ae.status, ae.code, ae.message)
+		return
+	}
+	var qe *query.Error
+	if errors.As(err, &qe) {
+		writeError(w, http.StatusBadRequest, qe.Code, qe.Message)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "internal", err.Error())
+}
+
+// ---------------------------------------------------------------------
+// Bounds-checked GET parameters
+// ---------------------------------------------------------------------
+
+// params wraps the URL query with the one bounds-checked accessor set
+// every handler shares — the per-handler strconv/split copies (which
+// silently swallowed bad input) are gone.
+type params struct {
+	v url.Values
+}
+
+func reqParams(r *http.Request) params { return params{v: r.URL.Query()} }
+
+// count parses a positive row-count parameter. Absent uses def; zero,
+// negative, non-numeric or absurd values are 400s, not silent fallbacks.
+func (p params) count(name string, def int) (int, error) {
+	raw := p.v.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, paramErr("%s=%q is not an integer", name, raw)
+	}
+	if n <= 0 {
+		return 0, paramErr("%s must be positive (got %d)", name, n)
+	}
+	if n > maxCount {
+		return 0, paramErr("%s=%d exceeds the maximum %d", name, n, maxCount)
+	}
+	return n, nil
+}
+
+// format resolves the format= parameter to "text" or "json".
+func (p params) format() (string, error) {
+	switch f := p.v.Get("format"); f {
+	case "", "text":
+		return "text", nil
+	case "json":
+		return "json", nil
+	default:
+		return "", paramErr("format=%q is not supported (use \"text\" or \"json\")", f)
+	}
+}
+
+// list parses a comma-separated parameter, rejecting empty elements.
+func (p params) list(name string) ([]string, error) {
+	raw := p.v.Get(name)
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	for _, s := range parts {
+		if s == "" {
+			return nil, paramErr("%s=%q contains an empty element", name, raw)
+		}
+	}
+	return parts, nil
+}
+
+// ---------------------------------------------------------------------
+// Route table
+// ---------------------------------------------------------------------
+
+// Handler builds the route table: every endpoint under /api/v1 plus the
+// legacy aliases, wrapped so even the mux's own 404/405 responses wear
+// the error envelope.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /stats", s.handleStats},
+		{"GET /tables/1", s.handleTable1},
+		{"GET /tables/2", s.handleTable2},
+		{"GET /tables/3", s.handleTable3},
+		{"GET /top-publishers", s.handleTopPublishers},
+		{"GET /publishers/classified", s.handleClassified},
+		{"GET /fakes", s.handleFakes},
+		{"GET /torrents/{id}/observations", s.handleObservations},
+	}
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" "+APIPrefix+path, rt.h)
+		mux.HandleFunc(method+" "+path, deprecated(rt.h))
+	}
+	mux.HandleFunc("POST "+APIPrefix+"/query", s.handleQuery)
+	return envelopeMiddleware(mux)
+}
+
+// deprecated marks a legacy-alias response. Bodies stay byte-identical
+// to the /api/v1 route (same handler); only headers differ.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+APIPrefix+r.URL.Path+">; rel=\"successor-version\"")
+		h(w, r)
+	}
+}
+
+// envelopeMiddleware rewrites the mux's own plain-text 404/405 bodies
+// into the error envelope. Handler-written errors pass through: they
+// set the JSON content type before writing the header.
+func envelopeMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	swallow     bool // original body replaced by an envelope
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if w.wroteHeader {
+		w.ResponseWriter.WriteHeader(code)
+		return
+	}
+	w.wroteHeader = true
+	ct := w.Header().Get("Content-Type")
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(ct, "application/json") {
+		w.swallow = true
+		codeStr := "not_found"
+		msg := "no such route"
+		if code == http.StatusMethodNotAllowed {
+			codeStr, msg = "method_not_allowed", "method not allowed for this route"
+		}
+		writeError(w.ResponseWriter, code, codeStr, msg)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.swallow {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// ---------------------------------------------------------------------
+// The query endpoint
+// ---------------------------------------------------------------------
+
+// exec returns the lake-backed executor, built once.
+func (s *Server) execQuery() (*query.Lake, error) {
+	s.execOnce.Do(func() {
+		s.exec, s.execErr = query.NewLake(s.Lake, s.Geo)
+	})
+	return s.exec, s.execErr
+}
+
+// handleQuery is POST /api/v1/query: one JSON Query in, one JSON Result
+// out, straight through the lake executor's zone-map pushdown.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody+1))
+	if err != nil {
+		fail(w, fmt.Errorf("reading request body: %w", err))
+		return
+	}
+	if len(body) > maxQueryBody {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("query body exceeds %d bytes", maxQueryBody))
+		return
+	}
+	q, err := query.Decode(body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ex, err := s.execQuery()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	res, err := ex.Execute(r.Context(), *q)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, res)
+}

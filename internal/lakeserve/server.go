@@ -3,22 +3,27 @@
 // keyed by the lake's manifest version. Requests never block behind a
 // writer — a snapshot is rebuilt at most once per committed lake version
 // (single-flight), stale snapshots keep serving while the rebuild runs,
-// and raw observation queries go through the lake's predicate scan with
-// zone-map pushdown instead of touching the analysis at all.
+// and raw observation queries go through the unified query engine
+// (internal/query) with zone-map pushdown instead of touching the
+// analysis at all.
 //
-// Endpoints:
+// Every endpoint lives under the versioned /api/v1 prefix; the pre-v1
+// paths remain as thin aliases of the same handlers (deprecated — see
+// api.go):
 //
-//	GET /stats                        lake + snapshot status (JSON)
-//	GET /tables/1                     Table 1, dataset description
-//	GET /tables/2?n=10                Table 2, publishers per ISP
-//	GET /tables/3?isps=OVH,Comcast    Table 3, hosting vs commercial
-//	GET /top-publishers?n=20          top publishers (JSON)
-//	GET /publishers/classified?n=20   Section 5.1 business classes (JSON)
-//	GET /fakes?n=50                   fake publishers and cohorts (JSON)
-//	GET /torrents/{id}/observations   one torrent's sightings (JSON)
+//	POST /api/v1/query                       composable query (JSON in/out, cursor pagination)
+//	GET  /api/v1/stats                       lake + snapshot status (JSON)
+//	GET  /api/v1/tables/1                    Table 1, dataset description
+//	GET  /api/v1/tables/2?n=10               Table 2, publishers per ISP
+//	GET  /api/v1/tables/3?isps=OVH,Comcast   Table 3, hosting vs commercial
+//	GET  /api/v1/top-publishers?n=20         top publishers (JSON)
+//	GET  /api/v1/publishers/classified?n=20  Section 5.1 business classes (JSON)
+//	GET  /api/v1/fakes?n=50                  fake publishers and cohorts (JSON)
+//	GET  /api/v1/torrents/{id}/observations  one torrent's sightings (a canned query)
 //
 // Tables render as text by default (curl-friendly, identical to the
-// btpub-analyze output); ?format=json returns the underlying rows.
+// btpub-analyze output); ?format=json returns the underlying rows. Every
+// 4xx/5xx response carries the {"error": {"code", "message"}} envelope.
 package lakeserve
 
 import (
@@ -30,7 +35,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +44,7 @@ import (
 	"btpub/internal/geoip"
 	"btpub/internal/lake"
 	"btpub/internal/population"
+	"btpub/internal/query"
 )
 
 // Server is the HTTP query interface over one lake.
@@ -61,6 +66,12 @@ type Server struct {
 	mu         sync.Mutex // single-flight synchronous first build
 	snap       atomic.Pointer[snapshot]
 	refreshing atomic.Bool
+
+	// The lake-backed query executor behind /api/v1/query and the canned
+	// observation endpoint, built once on first use.
+	execOnce sync.Once
+	exec     *query.Lake
+	execErr  error
 }
 
 // SetInspector swaps the promoted-site inspector. The generation bump
@@ -207,20 +218,6 @@ func (s *Server) version() uint64 {
 	return 0
 }
 
-// Handler builds the route table.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /tables/1", s.handleTable1)
-	mux.HandleFunc("GET /tables/2", s.handleTable2)
-	mux.HandleFunc("GET /tables/3", s.handleTable3)
-	mux.HandleFunc("GET /top-publishers", s.handleTopPublishers)
-	mux.HandleFunc("GET /publishers/classified", s.handleClassified)
-	mux.HandleFunc("GET /fakes", s.handleFakes)
-	mux.HandleFunc("GET /torrents/{id}/observations", s.handleObservations)
-	return mux
-}
-
 // StatsResponse is the /stats document.
 type StatsResponse struct {
 	Lake lake.Stats `json:"lake"`
@@ -241,13 +238,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
+	format, err := reqParams(r).format()
+	if err != nil {
+		fail(w, err)
+		return
+	}
 	an, _, err := s.Snapshot(r)
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
 	sum := an.Summary()
-	if wantJSON(r) {
+	if format == "json" {
 		writeJSON(w, sum)
 		return
 	}
@@ -255,13 +257,24 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
-	an, _, err := s.Snapshot(r)
+	p := reqParams(r)
+	format, err := p.format()
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
-	rows := an.ISPTable(intParam(r, "n", 10))
-	if wantJSON(r) {
+	n, err := p.count("n", 10)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	rows := an.ISPTable(n)
+	if format == "json" {
 		writeJSON(w, rows)
 		return
 	}
@@ -269,17 +282,27 @@ func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
-	an, _, err := s.Snapshot(r)
+	p := reqParams(r)
+	format, err := p.format()
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
-	names := []string{geoip.OVH, geoip.Comcast}
-	if q := r.URL.Query().Get("isps"); q != "" {
-		names = strings.Split(q, ",")
+	names, err := p.list("isps")
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if names == nil {
+		names = []string{geoip.OVH, geoip.Comcast}
+	}
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		fail(w, err)
+		return
 	}
 	rows := an.ContrastISPs(names...)
-	if wantJSON(r) {
+	if format == "json" {
 		writeJSON(w, rows)
 		return
 	}
@@ -297,12 +320,16 @@ type TopPublisher struct {
 }
 
 func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
-	an, _, err := s.Snapshot(r)
+	n, err := reqParams(r).count("n", 20)
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
-	n := intParam(r, "n", 20)
+	an, _, err := s.Snapshot(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
 	rows := make([]TopPublisher, 0, len(an.Facts.Users))
 	for _, u := range an.Facts.Users {
 		rows = append(rows, TopPublisher{
@@ -342,16 +369,20 @@ type ClassifiedPublisher struct {
 }
 
 func (s *Server) handleClassified(w http.ResponseWriter, r *http.Request) {
+	n, err := reqParams(r).count("n", 20)
+	if err != nil {
+		fail(w, err)
+		return
+	}
 	snap, err := s.classified(r)
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
 	clusterOf := map[string][]string{}
 	for _, c := range snap.clusters {
 		clusterOf[c.Usernames[0]] = c.Usernames
 	}
-	n := intParam(r, "n", 20)
 	rows := make([]ClassifiedPublisher, 0, len(snap.profiles))
 	for _, p := range snap.profiles {
 		row := ClassifiedPublisher{
@@ -399,9 +430,14 @@ type FakePublisher struct {
 }
 
 func (s *Server) handleFakes(w http.ResponseWriter, r *http.Request) {
+	n, err := reqParams(r).count("n", 50)
+	if err != nil {
+		fail(w, err)
+		return
+	}
 	snap, err := s.classified(r)
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
 	facts := snap.an.Facts
@@ -415,7 +451,6 @@ func (s *Server) handleFakes(w http.ResponseWriter, r *http.Request) {
 			fakeCluster[name] = c
 		}
 	}
-	n := intParam(r, "n", 50)
 	var rows []FakePublisher
 	for name, u := range facts.Users {
 		c := fakeCluster[name]
@@ -454,53 +489,40 @@ type ObservationRow struct {
 	Seeder bool      `json:"seeder,omitempty"`
 }
 
+// handleObservations is the canned-query reimplementation of the raw
+// observation endpoint: one torrent's sightings, expressed as a
+// Select-observations Query and answered by the same lake executor as
+// POST /api/v1/query (zone-map pushdown included).
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil || id < 0 {
-		http.Error(w, "bad torrent id", http.StatusBadRequest)
+		fail(w, paramErr("bad torrent id %q", r.PathValue("id")))
 		return
 	}
-	limit := intParam(r, "limit", 1000)
-	var mu sync.Mutex
-	var rows []ObservationRow
-	err = s.Lake.Scan(r.Context(), lake.Predicate{TorrentIDs: []int{id}}, func(b *lake.Batch) error {
-		mu.Lock()
-		defer mu.Unlock()
-		for k := 0; k < b.Len(); k++ {
-			rows = append(rows, ObservationRow{IP: b.IP(k), At: b.Time(k), Seeder: b.Seeder(k)})
-		}
-		return nil
+	limit, err := reqParams(r).count("limit", 1000)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ex, err := s.execQuery()
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	res, err := ex.Execute(r.Context(), query.Query{
+		Select: query.SelectObservations,
+		Filter: query.Filter{TorrentIDs: []int{id}},
+		Limit:  limit,
 	})
 	if err != nil {
-		httpError(w, err)
+		fail(w, err)
 		return
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		if !rows[i].At.Equal(rows[j].At) {
-			return rows[i].At.Before(rows[j].At)
-		}
-		return rows[i].IP < rows[j].IP
-	})
-	if limit > 0 && limit < len(rows) {
-		rows = rows[:limit]
+	rows := make([]ObservationRow, len(res.Observations))
+	for i, o := range res.Observations {
+		rows[i] = ObservationRow{IP: o.IP, At: o.At, Seeder: o.Seeder}
 	}
 	writeJSON(w, rows)
-}
-
-func wantJSON(r *http.Request) bool {
-	return r.URL.Query().Get("format") == "json"
-}
-
-func intParam(r *http.Request, name string, def int) int {
-	q := r.URL.Query().Get(name)
-	if q == "" {
-		return def
-	}
-	v, err := strconv.Atoi(q)
-	if err != nil {
-		return def
-	}
-	return v
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -513,8 +535,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 func writeText(w http.ResponseWriter, body string) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = fmt.Fprint(w, body)
-}
-
-func httpError(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), http.StatusInternalServerError)
 }

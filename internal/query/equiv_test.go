@@ -1,0 +1,350 @@
+package query_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"btpub/internal/campaign"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+	"btpub/internal/population"
+	"btpub/internal/query"
+)
+
+// campaignFixture runs one adversarial campaign and imports it into a
+// many-segment lake, shared by every equivalence assertion.
+type campaignFixture struct {
+	ds  *dataset.Dataset
+	lk  *lake.Lake
+	db  *geoip.DB
+	mem *query.Memory
+	lkx *query.Lake
+}
+
+var (
+	fixtureOnce sync.Once
+	fixtureDS   *dataset.Dataset
+	fixtureErr  error
+)
+
+func newFixture(t *testing.T) *campaignFixture {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		res, err := campaign.Run(campaign.Spec{
+			Scale: 0.01, MeanDownloads: 120, Style: campaign.PB10, Seed: 42,
+			Scenarios: population.AllScenarios,
+		})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureDS = res.Dataset
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	// Small segments force many zone-map entries, so pushdown paths and
+	// batch-boundary handling actually get exercised.
+	lk, err := lake.Open(filepath.Join(t.TempDir(), "lake"), lake.Options{FlushRows: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lk.Close() })
+	if err := lk.ImportDataset(fixtureDS); err != nil {
+		t.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := query.NewMemory(fixtureDS, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lkx, err := query.NewLake(lk, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &campaignFixture{ds: fixtureDS, lk: lk, db: db, mem: mem, lkx: lkx}
+}
+
+// observedGeo picks a (ISP, country) pair actually present in the data,
+// so geo-filtered equivalence queries are not vacuous.
+func (f *campaignFixture) observedGeo(t *testing.T) (string, string) {
+	t.Helper()
+	store := &f.ds.Obs
+	for i := 0; i < store.Len(); i++ {
+		addr := store.Addr(i)
+		if !addr.IsValid() {
+			continue
+		}
+		if rec, err := f.db.Lookup(addr); err == nil {
+			return rec.ISP, rec.Country
+		}
+	}
+	t.Fatal("no observation address resolves in the geo DB")
+	return "", ""
+}
+
+// somePublishers picks a few usernames present in the records.
+func (f *campaignFixture) somePublishers(n int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rec := range f.ds.Torrents {
+		if rec.Username == "" || seen[rec.Username] {
+			continue
+		}
+		seen[rec.Username] = true
+		out = append(out, rec.Username)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// TestExecutorEquivalence is the acceptance gate: query.Execute must
+// return identical rows — compared as serialized bytes — from the
+// in-memory and the lake-backed executor, across a battery of filters,
+// groupings, aggregates, orderings and pagination states over an
+// adversarial-scenario campaign.
+func TestExecutorEquivalence(t *testing.T) {
+	f := newFixture(t)
+	isp, country := f.observedGeo(t)
+	pubs := f.somePublishers(3)
+	if len(pubs) == 0 {
+		t.Fatal("campaign produced no usernames")
+	}
+	start, end := f.ds.Start, f.ds.End
+	mid := start.Add(end.Sub(start) / 2)
+
+	allAggs := []string{
+		query.AggObservations, query.AggDistinctIPs, query.AggSeeders,
+		query.AggTorrents, query.AggMaxSwarm,
+	}
+	cases := []struct {
+		name string
+		q    query.Query
+	}{
+		{"total-row", query.Query{Aggs: allAggs}},
+		{"by-publisher", query.Query{
+			GroupBy: query.GroupBy{Key: query.ByPublisher},
+			Aggs:    allAggs,
+			OrderBy: query.OrderBy{Field: query.AggDistinctIPs, Desc: true},
+		}},
+		{"by-isp-window", query.Query{
+			Filter:  query.Filter{MinTime: start, MaxTime: mid},
+			GroupBy: query.GroupBy{Key: query.ByISP},
+			Aggs:    []string{query.AggObservations, query.AggDistinctIPs},
+			OrderBy: query.OrderBy{Field: query.AggObservations, Desc: true},
+		}},
+		{"by-country-seeders", query.Query{
+			Filter:  query.Filter{SeedersOnly: true},
+			GroupBy: query.GroupBy{Key: query.ByCountry},
+			Aggs:    []string{query.AggObservations, query.AggSeeders},
+		}},
+		{"by-content-type", query.Query{
+			GroupBy: query.GroupBy{Key: query.ByContentType},
+			Aggs:    []string{query.AggTorrents, query.AggObservations},
+		}},
+		{"by-torrent-swarm", query.Query{
+			GroupBy: query.GroupBy{Key: query.ByTorrent},
+			Aggs:    []string{query.AggDistinctIPs, query.AggMaxSwarm},
+			OrderBy: query.OrderBy{Field: query.AggMaxSwarm, Desc: true},
+			Limit:   25,
+		}},
+		{"by-time-bucket", query.Query{
+			GroupBy: query.GroupBy{Key: query.ByTimeBucket, Bucket: query.Duration(6 * time.Hour)},
+			Aggs:    []string{query.AggObservations, query.AggSeeders, query.AggDistinctIPs},
+		}},
+		{"publisher-filter", query.Query{
+			Filter:  query.Filter{Publishers: pubs},
+			GroupBy: query.GroupBy{Key: query.ByPublisher},
+			Aggs:    allAggs,
+		}},
+		{"publisher-filter-with-window", query.Query{
+			Filter:  query.Filter{Publishers: pubs, MinTime: mid},
+			GroupBy: query.GroupBy{Key: query.ByTorrent},
+			Aggs:    []string{query.AggObservations},
+		}},
+		{"isp-filter", query.Query{
+			Filter:  query.Filter{ISPs: []string{isp}},
+			GroupBy: query.GroupBy{Key: query.ByISP},
+			Aggs:    []string{query.AggObservations, query.AggDistinctIPs},
+		}},
+		{"country-filter", query.Query{
+			Filter:  query.Filter{Countries: []string{country}},
+			GroupBy: query.GroupBy{Key: query.ByCountry},
+			Aggs:    []string{query.AggObservations},
+		}},
+		{"torrent-id-filter", query.Query{
+			Filter:  query.Filter{TorrentIDs: []int{0, 1, 2, 3, 4, 5}},
+			GroupBy: query.GroupBy{Key: query.ByTorrent},
+			Aggs:    []string{query.AggObservations, query.AggDistinctIPs},
+		}},
+		{"no-match-publisher", query.Query{
+			Filter:  query.Filter{Publishers: []string{"nobody-by-this-name"}},
+			GroupBy: query.GroupBy{Key: query.ByPublisher},
+		}},
+		{"observations-one-torrent", query.Query{
+			Select: query.SelectObservations,
+			// The first observation's torrent is guaranteed to be observed.
+			Filter: query.Filter{TorrentIDs: []int{f.ds.Obs.TorrentID(0)}},
+		}},
+		{"observations-window-seeders", query.Query{
+			Select: query.SelectObservations,
+			Filter: query.Filter{MinTime: mid, SeedersOnly: true},
+			Limit:  200,
+		}},
+	}
+
+	ctx := context.Background()
+	nonEmpty := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mustJSON(t, exec(t, f.lkx, ctx, tc.q))
+			want := mustJSON(t, exec(t, f.mem, ctx, tc.q))
+			if got != want {
+				t.Errorf("executors diverge:\nmemory: %.2000s\nlake:   %.2000s", want, got)
+			}
+			var res query.Result
+			if err := json.Unmarshal([]byte(got), &res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Total > 0 {
+				nonEmpty++
+			} else {
+				t.Logf("case %q matched nothing", tc.name)
+			}
+		})
+	}
+	if nonEmpty < len(cases)-1 { // only the no-match case may be empty
+		t.Errorf("only %d/%d cases matched data — fixture too sparse for a meaningful gate", nonEmpty, len(cases))
+	}
+}
+
+// TestExecutorEquivalenceCursorWalk pages both executors through the
+// same grouped query and requires every page to agree.
+func TestExecutorEquivalenceCursorWalk(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	q := query.Query{
+		GroupBy: query.GroupBy{Key: query.ByPublisher},
+		Aggs:    []string{query.AggObservations, query.AggDistinctIPs},
+		OrderBy: query.OrderBy{Field: query.AggObservations, Desc: true},
+		Limit:   7,
+	}
+	for page := 0; ; page++ {
+		lres := exec(t, f.lkx, ctx, q)
+		mres := exec(t, f.mem, ctx, q)
+		if got, want := mustJSON(t, lres), mustJSON(t, mres); got != want {
+			t.Fatalf("page %d diverges:\nmemory: %s\nlake:   %s", page, want, got)
+		}
+		if lres.NextCursor == "" {
+			if page == 0 {
+				t.Fatal("grouped query fit one page — raise the fixture size or drop the limit")
+			}
+			return
+		}
+		q.Cursor = lres.NextCursor
+		if page > 100 {
+			t.Fatal("cursor walk did not terminate")
+		}
+	}
+}
+
+type executor interface {
+	Execute(context.Context, query.Query) (*query.Result, error)
+}
+
+func exec(t *testing.T, e executor, ctx context.Context, q query.Query) *query.Result {
+	t.Helper()
+	res, err := e.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLakeQueryPushdown is the zone-map acceptance gate at the query
+// layer: a grouped aggregate over a 2% time window of a one-million-
+// observation lake must open at most 2 of its segments.
+func TestLakeQueryPushdown(t *testing.T) {
+	t0 := time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+	lk, err := lake.Open(filepath.Join(t.TempDir(), "lake"), lake.Options{FlushRows: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	const total = 1_000_000
+	for i := 0; i < total; i++ {
+		err := lk.Append(dataset.Observation{
+			TorrentID: i % 1000,
+			IP:        fmt.Sprintf("10.%d.%d.%d", i%4, (i/4)%250, (i/1000)%250),
+			At:        t0.Add(time.Duration(i) * time.Second),
+			Seeder:    i%64 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := lk.Stats()
+	if st.Segments < 10 {
+		t.Fatalf("segments = %d, want many", st.Segments)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lkx, err := query.NewLake(lk, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	windowNs := int64(total) * int64(time.Second) * 2 / 100
+	q := query.Query{
+		Filter: query.Filter{
+			MinTime: t0.Add(time.Duration(int64(total)*int64(time.Second) - windowNs)),
+		},
+		GroupBy: query.GroupBy{Key: query.ByTimeBucket, Bucket: query.Duration(30 * time.Minute)},
+		Aggs:    []string{query.AggObservations, query.AggDistinctIPs, query.AggSeeders},
+	}
+	before := lk.Stats()
+	res, err := lkx.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := lk.Stats()
+
+	read := after.SegmentsRead - before.SegmentsRead
+	if read > 2 {
+		t.Fatalf("2%% time-window grouped query read %d segments, want <= 2", read)
+	}
+	var obs int64
+	for _, g := range res.Groups {
+		obs += g.Aggs[query.AggObservations]
+	}
+	// Observations sit at seconds 0..total-1, so the inclusive window
+	// [total-window, total-1] holds exactly windowNs seconds of them.
+	if want := windowNs / int64(time.Second); obs != want {
+		t.Fatalf("window observations = %d, want %d", obs, want)
+	}
+}

@@ -1,0 +1,54 @@
+package query
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzQueryDecode holds the decoder to its contract: arbitrary bytes
+// never panic, every rejection is a structured *Error, and every
+// accepted query survives a marshal → decode round trip.
+func FuzzQueryDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"group_by":{"key":"isp"},"aggs":["observations","distinct-ips"]}`))
+	f.Add([]byte(`{"select":"observations","filter":{"torrent_ids":[1,2]},"limit":10}`))
+	f.Add([]byte(`{"group_by":{"key":"time-bucket","bucket":"6h"},"order_by":{"field":"observations","desc":true}}`))
+	f.Add([]byte(`{"filter":{"min_time":"2010-04-06T00:00:00Z","publishers":["alice"]}}`))
+	f.Add([]byte(`{"limit":-1}`))
+	f.Add([]byte(`{"cursor":"zzz"}`))
+	f.Add([]byte(`{"unknown":1}`))
+	f.Add([]byte(`{"limit":5}xyz`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"group_by":{"bucket":123}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Decode(data)
+		if err != nil {
+			var qe *Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("Decode error %T is not *query.Error: %v", err, err)
+			}
+			if qe.Code == "" || qe.Message == "" {
+				t.Fatalf("unstructured error: %+v", qe)
+			}
+			return
+		}
+		// Accepted queries are canonical: re-encoding and re-decoding
+		// must accept again and agree on the normalized form.
+		b, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("marshal of accepted query failed: %v", err)
+		}
+		q2, err := Decode(b)
+		if err != nil {
+			t.Fatalf("round trip rejected %s: %v", b, err)
+		}
+		b2, err := json.Marshal(q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != string(b2) {
+			t.Fatalf("round trip not stable:\n%s\n%s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// The lake-backed executor: compiles the query filter into a
+// lake.Predicate so zone maps prune whole segments before they are
+// opened, resolves publisher filters into torrent-ID sets from the
+// lake's metadata records, and folds the streamed batches straight into
+// the shared collector — a grouped aggregate over a million-observation
+// lake never materializes a dataset.
+package query
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+)
+
+// Lake executes queries against a persistent observation lake.
+type Lake struct {
+	lk *lake.Lake
+	db *geoip.DB
+
+	// Torrent metadata is append-only in the lake, so the parsed records
+	// are cached per manifest version instead of re-reading the meta
+	// JSONL files on every query that touches publishers or categories.
+	mu      sync.Mutex
+	metaVer uint64
+	recs    []*dataset.TorrentRecord
+}
+
+// NewLake wraps a lake for querying.
+func NewLake(lk *lake.Lake, db *geoip.DB) (*Lake, error) {
+	if lk == nil || db == nil {
+		return nil, errors.New("query: lake and geo DB required")
+	}
+	return &Lake{lk: lk, db: db}, nil
+}
+
+// meta returns the committed torrent records, cached per lake version.
+func (e *Lake) meta() ([]*dataset.TorrentRecord, error) {
+	// Read the version before the records: a commit landing in between
+	// stamps the cache with an older version than its content, which
+	// costs one redundant reload — never a stale read.
+	v := e.lk.Version()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.recs != nil && e.metaVer == v {
+		return e.recs, nil
+	}
+	recs, _, err := e.lk.TorrentRecords()
+	if err != nil {
+		return nil, err
+	}
+	if recs == nil {
+		recs = []*dataset.TorrentRecord{}
+	}
+	e.recs, e.metaVer = recs, v
+	return recs, nil
+}
+
+// Execute answers one query.
+func (e *Lake) Execute(ctx context.Context, q Query) (*Result, error) {
+	p, perr := newPlan(q)
+	if perr != nil {
+		return nil, perr
+	}
+	var recs []*dataset.TorrentRecord
+	if p.needsMeta() {
+		var err error
+		if recs, err = e.meta(); err != nil {
+			return nil, err
+		}
+	}
+	c := newCollector(p, newEnv(e.db, recs, p))
+
+	pred := lake.Predicate{SeedersOnly: p.q.Filter.SeedersOnly}
+	if !p.q.Filter.MinTime.IsZero() {
+		pred.MinTime = p.q.Filter.MinTime
+	}
+	if !p.q.Filter.MaxTime.IsZero() {
+		pred.MaxTime = p.q.Filter.MaxTime
+	}
+	if tids := e.pushdownTIDs(p, recs); tids != nil {
+		pred.TorrentIDs = tids
+	}
+
+	var mu sync.Mutex
+	err := e.lk.Scan(ctx, pred, func(b *lake.Batch) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for k := 0; k < b.Len(); k++ {
+			c.add(int32(b.TorrentID(k)), b.IP(k), b.UnixNano(k), b.Seeder(k))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.finish()
+}
+
+// pushdownTIDs compiles the torrent-ID and publisher filters into one
+// predicate ID set (nil = no restriction). Publisher names are resolved
+// against the metadata records; validation guarantees names are
+// non-empty, so an observation whose torrent has no record can never
+// match the publisher filter — dropping it at the zone-map layer is
+// exact, not approximate.
+func (e *Lake) pushdownTIDs(p *plan, recs []*dataset.TorrentRecord) []int {
+	if p.tids == nil && p.pubs == nil {
+		return nil
+	}
+	if p.pubs == nil {
+		out := make([]int, 0, len(p.tids))
+		for tid := range p.tids {
+			out = append(out, int(tid))
+		}
+		return out
+	}
+	out := []int{} // non-nil: an empty set must select nothing, not everything
+	for _, rec := range recs {
+		if !p.pubs[publisherKey(rec)] {
+			continue
+		}
+		if p.tids != nil && !p.tids[int32(rec.TorrentID)] {
+			continue
+		}
+		out = append(out, rec.TorrentID)
+	}
+	return out
+}

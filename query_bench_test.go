@@ -1,0 +1,96 @@
+package btpub
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+	"btpub/internal/query"
+)
+
+// queryBenchQuery is the grouped aggregate both executors run: a 2%
+// time window of the 1M-observation store, bucketed at 30 minutes with
+// three aggregates. On the lake path zone maps prune all but 1–2
+// segments before they are opened.
+func queryBenchQuery(start time.Time, totalSeconds int) query.Query {
+	window := time.Duration(totalSeconds) * time.Second * 2 / 100
+	return query.Query{
+		Filter: query.Filter{
+			MinTime: start.Add(time.Duration(totalSeconds)*time.Second - window),
+		},
+		GroupBy: query.GroupBy{Key: query.ByTimeBucket, Bucket: query.Duration(30 * time.Minute)},
+		Aggs:    []string{query.AggObservations, query.AggDistinctIPs, query.AggSeeders},
+	}
+}
+
+// queryBenchDataset is the 1M-observation fixture shared by both query
+// benchmarks (2000 torrents × 500 observations, ~6k distinct IPs).
+func queryBenchDataset() *dataset.Dataset {
+	return lakeBenchDataset(2000, 500)
+}
+
+// BenchmarkQueryLake measures the lake executor end to end on a
+// 1M-observation lake: plan compilation, zone-map pruning, segment
+// decode, streamed aggregation. Setup (ingest) is untimed.
+func BenchmarkQueryLake(b *testing.B) {
+	ds := queryBenchDataset()
+	lk, err := lake.Open(filepath.Join(b.TempDir(), "lake"), lake.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lk.Close()
+	if err := lk.ImportDataset(ds); err != nil {
+		b.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := query.NewLake(lk, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := queryBenchQuery(ds.Start, ds.NumObservations())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Execute(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
+			b.Fatal("benchmark query matched nothing")
+		}
+	}
+}
+
+// BenchmarkQueryMemory runs the identical query through the in-memory
+// executor over the same 1M observations — the baseline the lake
+// executor's pushdown is measured against.
+func BenchmarkQueryMemory(b *testing.B) {
+	ds := queryBenchDataset()
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := query.NewMemory(ds, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := queryBenchQuery(ds.Start, ds.NumObservations())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Execute(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
+			b.Fatal("benchmark query matched nothing")
+		}
+	}
+}
