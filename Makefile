@@ -12,7 +12,7 @@ SHELL := /bin/bash
 ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable2ISP|BenchmarkTable3OVHComcast|BenchmarkSection33CrossAnalysis|BenchmarkFigure2ContentTypes|BenchmarkFigure3Popularity|BenchmarkFigure4aSeedingTime|BenchmarkFigure4bParallel|BenchmarkFigure4cSession|BenchmarkSection51Business|BenchmarkTable4Longitudinal|BenchmarkTable5Income|BenchmarkSection6OVH|BenchmarkAppendixAEstimator
 CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel|BenchmarkCampaignAdversarial
 LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan
-QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory
+QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory|BenchmarkQueryPointLookup
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
@@ -39,9 +39,11 @@ bench-lake:
 	go test -run '^$$' -bench '$(LAKE_BENCH)' -benchtime=20x -benchmem -timeout 20m . \
 		| go run ./cmd/benchjson -o BENCH_lake_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkLake'
 
-# The query-engine benchmarks: the same 2% time-window grouped
-# aggregate through the lake executor (zone-map pushdown) and the
-# in-memory executor, over a 1M-observation store, ceilings enforced.
+# The query-engine benchmarks over a 1M-observation store, ceilings
+# enforced: the 2% time-window grouped aggregate through the lake
+# executor (zone-map pushdown) and the in-memory executor, the
+# full-lake grouped aggregate serial vs parallel, and the
+# microindex-pruned IP point lookup.
 bench-query:
 	go test -run '^$$' -bench '$(QUERY_BENCH)' -benchtime=20x -benchmem -timeout 20m . \
 		| go run ./cmd/benchjson -o BENCH_query_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkQuery'

@@ -53,6 +53,7 @@ func run() error {
 	maxT := flag.String("max", "", "max observation time (RFC3339, inclusive)")
 	torrents := flag.String("torrents", "", "comma-separated torrent IDs")
 	publishers := flag.String("publishers", "", "comma-separated publisher usernames")
+	ips := flag.String("ips", "", "comma-separated peer addresses (point lookup via microindex postings)")
 	isps := flag.String("isps", "", "comma-separated peer ISPs")
 	countries := flag.String("countries", "", "comma-separated peer countries")
 	seeders := flag.Bool("seeders", false, "seeder sightings only")
@@ -64,6 +65,7 @@ func run() error {
 	limit := flag.Int("limit", 0, "row limit (0 = all); a truncated result prints a next cursor")
 	cursor := flag.String("cursor", "", "resume a paginated walk")
 	asJSON := flag.Bool("json", false, "print the raw JSON result instead of a table")
+	explain := flag.Bool("explain", false, "print the query plan (predicate order, segment pruning, workers) instead of executing")
 	flag.Parse()
 
 	if (*lakeDir == "") == (*remote == "") {
@@ -75,6 +77,7 @@ func run() error {
 		Filter: query.Filter{
 			TorrentIDs:  nil,
 			Publishers:  csv(*publishers),
+			IPs:         csv(*ips),
 			ISPs:        csv(*isps),
 			Countries:   csv(*countries),
 			SeedersOnly: *seeders,
@@ -106,6 +109,12 @@ func run() error {
 	}
 
 	ctx := context.Background()
+	if *explain {
+		if *lakeDir == "" {
+			return fmt.Errorf("-explain plans against a local lake (use -lake, not -remote)")
+		}
+		return explainLocal(ctx, q, *lakeDir, *asJSON)
+	}
 	res, err := execute(ctx, q, *lakeDir, *remote)
 	if err != nil {
 		return err
@@ -137,6 +146,53 @@ func execute(ctx context.Context, q query.Query, lakeDir, remote string) (*query
 		return nil, err
 	}
 	return ex.Execute(ctx, q)
+}
+
+// explainLocal plans the query against a local lake and prints the
+// plan: predicate order, segment pruning (zone maps vs microindex
+// postings), and the scan parallelism Execute would use.
+func explainLocal(ctx context.Context, q query.Query, lakeDir string, asJSON bool) error {
+	lk, err := lake.Open(lakeDir, lake.Options{})
+	if err != nil {
+		return err
+	}
+	defer lk.Close()
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		return err
+	}
+	ex, err := query.NewLake(lk, db)
+	if err != nil {
+		return err
+	}
+	pl, err := ex.Explain(ctx, q)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(pl)
+	}
+	preds := strings.Join(pl.Predicates, " -> ")
+	if preds == "" {
+		preds = "(none: full scan)"
+	}
+	fmt.Printf("predicates:      %s\n", preds)
+	if pl.PushdownTorrentIDs >= 0 {
+		fmt.Printf("torrent pushdown: %d torrent ID(s) compiled from the filter\n", pl.PushdownTorrentIDs)
+	}
+	fmt.Printf("segments:        %d committed\n", pl.Segments)
+	fmt.Printf("  pruned (zone):     %d\n", pl.PrunedZone)
+	fmt.Printf("  pruned (postings): %d\n", pl.PrunedPostings)
+	fmt.Printf("  opened:            %d (%d rows)\n", len(pl.Opened), pl.Rows)
+	if n := len(pl.Opened); n > 0 && n <= 12 {
+		for _, f := range pl.Opened {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	fmt.Printf("workers:         %d\n", pl.Workers)
+	return nil
 }
 
 // render prints the result as an aligned table.

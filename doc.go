@@ -85,10 +85,21 @@
 // versioned manifest committed by atomic rename, so a crash at any
 // instant leaves the previous committed state (Open discards torn tmp
 // manifests, deletes orphans, and size-checks referenced segments;
-// Verify runs a full CRC pass). Scan prunes segments on the manifest's
-// zone maps alone and decodes survivors in parallel; a background
-// compactor folds small segments in the canonical Merge order while
-// concurrent readers keep their snapshot. Materialize canonicalises the
+// Verify runs a full CRC pass). Each flush also seals a per-segment
+// microindex (idx-NNNNNN.ipx): sorted, CRC-protected postings of the
+// segment's distinct IP strings and torrent IDs. The segment bloom is
+// 64 bits and saturates past a few dozen distinct addresses, so for
+// point lookups the scan planner consults postings — exact, not
+// probabilistic — after the free zone-map pass and opens only segments
+// that contain the key. Indexes are an optimization, never a source of
+// truth: manifests without index fields (pre-microindex lakes) scan
+// with bloom-only pruning, a missing or corrupt index file degrades at
+// Open without data loss, Verify cross-checks postings against segment
+// contents, and compaction regenerates them for merged output. Scan
+// prunes segments on the manifest's zone maps and postings alone and
+// decodes survivors in parallel; a background compactor folds small
+// segments in the canonical Merge order while concurrent readers keep
+// their snapshot. Materialize canonicalises the
 // committed state back into a dataset.Dataset that is byte-identical to
 // the imported JSONL for any flush size and compaction history (golden
 // tests enforce this), and analysis.NewFromLake feeds it to the
@@ -113,13 +124,25 @@
 // torrents, max-swarm}, OrderBy, Limit, Cursor}, with two executors
 // required (and tested, over an adversarial-scenario campaign) to
 // return identical rows: query.NewMemory runs over an in-memory
-// dataset, query.NewLake compiles the filter into a lake.Predicate for
-// zone-map pushdown — a 2% time-window grouped aggregate over a
-// 1M-observation lake opens at most two segments — and folds the
-// streamed batches without materializing a dataset. Grouped rows order
-// deterministically (OrderBy field, then key), paginate via opaque
-// cursors signed against the query, and every invalid query yields a
-// structured *query.Error (FuzzQueryDecode holds the decoder to that).
+// dataset, query.NewLake compiles the filter (including Filter.IPs,
+// the microindex point-lookup) into a lake.Predicate and folds the
+// streamed batches without materializing a dataset. The lake executor
+// plans before reading data — zone-map pruning (a 2% time-window
+// grouped aggregate over a 1M-observation lake opens at most two
+// segments), exact postings pruning of the bloom-maybe survivors, and
+// cheapest-column-first ordering of the row predicates (time, then
+// seeder bit, then torrent ID, then IP; each opened segment rewrites
+// the IP predicate into a segment-local intern-index bitset) — then
+// partitions the surviving segments across scan workers
+// (Lake.WithWorkers; default GOMAXPROCS), one collector per worker,
+// merged deterministically and finished under one total row order, so
+// results are byte-identical for every worker count. Lake.Explain
+// (btpub-query -explain) reports the plan — predicate order, per-stage
+// segment pruning, worker count — without executing. Grouped rows
+// order deterministically (OrderBy field, then key), paginate via
+// opaque cursors signed against the query, and every invalid query
+// yields a structured *query.Error (FuzzQueryDecode holds the decoder
+// to that).
 //
 // internal/lakeserve mounts everything under the versioned /api/v1
 // prefix: POST /api/v1/query plus the canned views (/stats,
@@ -159,17 +182,22 @@
 // whole loop end to end, including over the /publishers/classified and
 // /fakes endpoints.
 //
-// The tier-1 gate is `go build ./... && go test ./...`; CI additionally
-// runs `go vet`, gofmt, the race detector (including the lake's
-// reader-during-compaction tests), a dirty-working-tree check after the
-// tests, short fuzz smokes of the observation-line codec, the promo-URL
-// extractor and the query decoder, and a 1x smoke pass of the campaign,
-// lake and query-engine benchmarks whose allocs/op are gated against
-// checked-in ceilings (ci/bench-ceilings.txt, enforced by
-// cmd/benchjson) so allocation regressions fail loudly. `make bench`
-// runs the E1–E15 suite with -benchmem and records BENCH_<date>.json
-// for the perf trajectory; `make bench-lake` and `make bench-query` do
-// the same for lake ingest/scan and the two query executors. See
+// The tier-1 gate is `go build ./... && go test ./...`. CI
+// (.github/workflows/ci.yml) stages the rest behind a fast lint job
+// (gofmt, build, vet — with the Go build cache restored per job), so
+// cheap failures never cost a race run: the test job runs the race
+// detector (including the lake's reader-during-compaction tests and
+// the parallel-executor equivalence gate), 15-second fuzz smokes of
+// every Fuzz* target — discovered by listing, seeded from the
+// checked-in corpora under each package's testdata/fuzz/ — and a
+// dirty-working-tree check; the bench-smoke job runs a 1x pass of the
+// campaign, lake and query-engine benchmarks whose allocs/op are gated
+// against checked-in ceilings (ci/bench-ceilings.txt, enforced by
+// cmd/benchjson) so allocation regressions fail loudly. A nightly
+// workflow (.github/workflows/nightly.yml) fuzzes every target for 5
+// minutes and runs the full benchmark suite — `make bench` (E1–E15)
+// plus bench-campaign/bench-lake/bench-query — uploading the
+// BENCH_<date>.json records as artifacts, the perf trajectory. See
 // README.md for the shard/worker knobs on each binary and the measured
 // speedups.
 package btpub

@@ -119,15 +119,27 @@ func (lk *Lake) compact() error {
 	if lk.closed {
 		return errClosed
 	}
-	name := fmt.Sprintf("seg-%06d.obs", lk.man.NextSeq)
+	seq := lk.man.NextSeq
 	lk.man.NextSeq++
+	name := fmt.Sprintf("seg-%06d.obs", seq)
 	buf := encodeSegment(st, merged.zone)
 	if err := writeFileSync(filepath.Join(lk.dir, name), buf); err != nil {
 		return err
 	}
-	gone := make(map[string]bool, len(victims))
+	// Compaction regenerates the microindex for the merged output, so a
+	// compacted lake prunes point lookups exactly like a fresh one —
+	// including lakes whose victims predate microindexes entirely.
+	idxName := fmt.Sprintf("idx-%06d.ipx", seq)
+	idxBuf := encodeMicroindex(buildMicroindex(st))
+	if err := writeFileSync(filepath.Join(lk.dir, idxName), idxBuf); err != nil {
+		return err
+	}
+	gone := make(map[string]bool, 2*len(victims))
 	for _, v := range victims {
 		gone[v.File] = true
+		if v.Index != "" {
+			gone[v.Index] = true
+		}
 	}
 	keep := lk.man.Segments[:0:0]
 	for _, s := range lk.man.Segments {
@@ -135,7 +147,11 @@ func (lk *Lake) compact() error {
 			keep = append(keep, s)
 		}
 	}
-	keep = append(keep, segMeta{File: name, Bytes: int64(len(buf)), zone: merged.zone})
+	keep = append(keep, segMeta{
+		File: name, Bytes: int64(len(buf)),
+		Index: idxName, IndexBytes: int64(len(idxBuf)),
+		zone: merged.zone,
+	})
 	lk.man.Segments = keep
 	lk.man.Version++
 	if err := commitManifest(lk.dir, lk.man); err != nil {

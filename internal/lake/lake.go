@@ -82,8 +82,14 @@ type Lake struct {
 	compacting atomic.Bool
 	wg         sync.WaitGroup
 
-	segsRead    atomic.Int64
-	segsSkipped atomic.Int64
+	// idxCache memoizes decoded microindex files by name. Index files
+	// are immutable once committed, so entries never go stale; retired
+	// files are evicted when their segments are vacuumed.
+	idxCache sync.Map // file name -> *microindex
+
+	segsRead       atomic.Int64
+	segsSkipped    atomic.Int64
+	segsSkippedIdx atomic.Int64
 }
 
 // Open opens (or creates) the lake in dir. Crash recovery happens here:
@@ -107,6 +113,17 @@ func Open(dir string, opt Options) (*Lake, error) {
 	var keep []segMeta
 	salvaged := false
 	for _, s := range man.Segments {
+		// A missing or resized microindex never loses data: drop the
+		// reference so scans of this segment fall back to bloom pruning,
+		// and commit the degraded manifest below.
+		if s.Index != "" {
+			ist, err := os.Stat(filepath.Join(dir, s.Index))
+			if err != nil || ist.Size() != s.IndexBytes {
+				log.Printf("lake: dropping microindex %s for %s (missing or resized); bloom pruning only", s.Index, s.File)
+				s.Index, s.IndexBytes = "", 0
+				salvaged = true
+			}
+		}
 		st, err := os.Stat(filepath.Join(dir, s.File))
 		switch {
 		case err == nil && st.Size() == s.Bytes:
@@ -219,10 +236,14 @@ type Stats struct {
 	Torrents     int       `json:"torrents"`
 	Users        int       `json:"users"`
 	Dropped      int64     `json:"dropped"`
-	// SegmentsRead / SegmentsSkipped are cumulative scan pushdown
-	// counters for this handle (skipped = pruned by zone maps alone).
-	SegmentsRead    int64 `json:"segments_read"`
-	SegmentsSkipped int64 `json:"segments_skipped"`
+	// SegmentsRead / SegmentsSkipped / SegmentsSkippedPostings are
+	// cumulative scan pushdown counters for this handle: Skipped counts
+	// segments pruned by zone maps alone, SkippedPostings counts
+	// bloom-maybe segments a microindex proved key-free before they
+	// were opened.
+	SegmentsRead            int64 `json:"segments_read"`
+	SegmentsSkipped         int64 `json:"segments_skipped"`
+	SegmentsSkippedPostings int64 `json:"segments_skipped_postings"`
 }
 
 // Stats snapshots the committed state.
@@ -238,6 +259,7 @@ func (lk *Lake) Stats() Stats {
 	lk.mu.Unlock()
 	st.SegmentsRead = lk.segsRead.Load()
 	st.SegmentsSkipped = lk.segsSkipped.Load()
+	st.SegmentsSkippedPostings = lk.segsSkippedIdx.Load()
 	return st
 }
 
@@ -358,14 +380,27 @@ func (lk *Lake) maybeFlushLocked() error {
 func (lk *Lake) flushLocked(autoCompact bool) error {
 	dirty := false
 	if n := lk.bld.store.Len(); n > 0 {
-		name := fmt.Sprintf("seg-%06d.obs", lk.man.NextSeq)
+		seq := lk.man.NextSeq
 		lk.man.NextSeq++
+		name := fmt.Sprintf("seg-%06d.obs", seq)
 		buf := encodeSegment(&lk.bld.store, lk.bld.zone)
 		if err := writeFileSync(filepath.Join(lk.dir, name), buf); err != nil {
 			lk.lastErr = err
 			return err
 		}
-		lk.man.Segments = append(lk.man.Segments, segMeta{File: name, Bytes: int64(len(buf)), zone: lk.bld.zone})
+		// Seal the segment's microindex beside it (same sequence number)
+		// before the manifest that references both is committed.
+		idxName := fmt.Sprintf("idx-%06d.ipx", seq)
+		idxBuf := encodeMicroindex(buildMicroindex(&lk.bld.store))
+		if err := writeFileSync(filepath.Join(lk.dir, idxName), idxBuf); err != nil {
+			lk.lastErr = err
+			return err
+		}
+		lk.man.Segments = append(lk.man.Segments, segMeta{
+			File: name, Bytes: int64(len(buf)),
+			Index: idxName, IndexBytes: int64(len(idxBuf)),
+			zone: lk.bld.zone,
+		})
 		lk.man.Rows += int64(n)
 		if lk.bld.zone.MaxTID+1 > lk.man.NextTID {
 			// Streamed observations can mention torrents whose records are
@@ -451,6 +486,7 @@ func saveSync(path string, d *dataset.Dataset) error {
 func (lk *Lake) deleteDeadLocked() {
 	for _, f := range lk.dead {
 		_ = os.Remove(filepath.Join(lk.dir, f))
+		lk.idxCache.Delete(f)
 	}
 	lk.dead = nil
 }
@@ -618,7 +654,7 @@ func (lk *Lake) MaterializeVersion(ctx context.Context, pred Predicate) (*datase
 	raw.Users = users
 
 	var mu sync.Mutex
-	err = lk.scanManifest(ctx, man, pred, func(b *Batch) error {
+	err = lk.scanManifest(ctx, man, pred, 0, func(_ int, b *Batch) error {
 		mu.Lock()
 		defer mu.Unlock()
 		store := &raw.Obs
@@ -663,8 +699,11 @@ func (lk *Lake) readMetaLocked(man *manifest) ([]*dataset.TorrentRecord, []datas
 	return torrents, users, nil
 }
 
-// Verify reads and CRC-checks every committed segment, returning one
-// error per corrupt file (nil means the lake is fully intact).
+// Verify reads and CRC-checks every committed segment — and, when the
+// segment carries a microindex, CRC-checks the index file and
+// cross-checks its postings against the postings rebuilt from the
+// segment's actual rows — returning one error per corrupt file (nil
+// means the lake is fully intact).
 func (lk *Lake) Verify(ctx context.Context) []error {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
@@ -677,8 +716,26 @@ func (lk *Lake) Verify(ctx context.Context) []error {
 			errs = append(errs, ctx.Err())
 			break
 		}
-		if _, _, err := lk.readSegment(sm); err != nil {
+		d, _, err := lk.readSegment(sm)
+		if err != nil {
 			errs = append(errs, err)
+			continue
+		}
+		if sm.Index == "" {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(lk.dir, sm.Index))
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		x, err := decodeMicroindex(sm.Index, buf)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if !x.equal(buildMicroindexFromSeg(d)) {
+			errs = append(errs, &CorruptIndexError{File: sm.Index, Reason: "postings disagree with segment " + sm.File})
 		}
 	}
 	return errs
@@ -691,4 +748,26 @@ func (lk *Lake) readSegment(sm segMeta) (*segData, zone, error) {
 		return nil, zone{}, err
 	}
 	return decodeSegment(sm.File, buf)
+}
+
+// readIndex loads (and memoizes) one segment's microindex. Any failure
+// degrades to (nil, err) — callers treat a missing index as "cannot
+// prune", never as data loss.
+func (lk *Lake) readIndex(sm segMeta) (*microindex, error) {
+	if sm.Index == "" {
+		return nil, nil
+	}
+	if v, ok := lk.idxCache.Load(sm.Index); ok {
+		return v.(*microindex), nil
+	}
+	buf, err := os.ReadFile(filepath.Join(lk.dir, sm.Index))
+	if err != nil {
+		return nil, err
+	}
+	x, err := decodeMicroindex(sm.Index, buf)
+	if err != nil {
+		return nil, err
+	}
+	lk.idxCache.Store(sm.Index, x)
+	return x, nil
 }

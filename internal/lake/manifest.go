@@ -22,10 +22,16 @@ const (
 	formatV1     = 1
 )
 
-// segMeta is one live segment's manifest entry.
+// segMeta is one live segment's manifest entry. Index names the
+// segment's sealed microindex file (postings of distinct IPs and
+// torrent IDs); empty on manifests written before microindexes existed,
+// in which case scans fall back to bloom-only pruning — the flag that
+// keeps old lakes readable.
 type segMeta struct {
-	File  string `json:"file"`
-	Bytes int64  `json:"bytes"`
+	File       string `json:"file"`
+	Bytes      int64  `json:"bytes"`
+	Index      string `json:"index,omitempty"`
+	IndexBytes int64  `json:"index_bytes,omitempty"`
 	zone
 }
 
@@ -63,9 +69,12 @@ func (m *manifest) clone() *manifest {
 
 // files returns every file the manifest references.
 func (m *manifest) files() map[string]int64 {
-	out := make(map[string]int64, len(m.Segments)+len(m.Meta))
+	out := make(map[string]int64, 2*len(m.Segments)+len(m.Meta))
 	for _, s := range m.Segments {
 		out[s.File] = s.Bytes
+		if s.Index != "" {
+			out[s.Index] = s.IndexBytes
+		}
 	}
 	for _, f := range m.Meta {
 		out[f] = -1 // meta sizes are not pinned
@@ -135,6 +144,7 @@ func syncDir(dir string) {
 // (orphan cleanup must never touch anything else in the directory).
 func isLakeFile(name string) bool {
 	return strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".obs") ||
+		strings.HasPrefix(name, "idx-") && strings.HasSuffix(name, ".ipx") ||
 		strings.HasPrefix(name, "meta-") && strings.HasSuffix(name, ".jsonl") ||
 		name == manifestTmp
 }

@@ -18,13 +18,19 @@ import (
 )
 
 // campaignFixture runs one adversarial campaign and imports it into a
-// many-segment lake, shared by every equivalence assertion.
+// many-segment lake, shared by every equivalence assertion. The lake
+// executor is held in all three parallelism shapes the engine supports:
+// serial (one worker), default (GOMAXPROCS) and explicitly parallel
+// (more workers than this machine has cores, so the merge path is
+// exercised even on small runners).
 type campaignFixture struct {
 	ds  *dataset.Dataset
 	lk  *lake.Lake
 	db  *geoip.DB
 	mem *query.Memory
-	lkx *query.Lake
+	lkx *query.Lake // default parallelism
+	lks *query.Lake // serial: one scan worker
+	lkp *query.Lake // parallel: 8 scan workers
 }
 
 var (
@@ -71,7 +77,44 @@ func newFixture(t *testing.T) *campaignFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &campaignFixture{ds: fixtureDS, lk: lk, db: db, mem: mem, lkx: lkx}
+	return &campaignFixture{
+		ds: fixtureDS, lk: lk, db: db, mem: mem,
+		lkx: lkx, lks: lkx.WithWorkers(1), lkp: lkx.WithWorkers(8),
+	}
+}
+
+// lakeExecutors names the fixture's lake executor variants; every
+// equivalence case must hold for each of them against the in-memory
+// executor.
+func (f *campaignFixture) lakeExecutors() []struct {
+	name string
+	ex   *query.Lake
+} {
+	return []struct {
+		name string
+		ex   *query.Lake
+	}{
+		{"lake-serial", f.lks},
+		{"lake-default", f.lkx},
+		{"lake-parallel", f.lkp},
+	}
+}
+
+// someIPs picks a few distinct observed addresses, so IP point-lookup
+// equivalence queries are not vacuous.
+func (f *campaignFixture) someIPs(n int) []string {
+	seen := map[string]bool{}
+	var out []string
+	store := &f.ds.Obs
+	for i := 0; i < store.Len() && len(out) < n; i++ {
+		ip := store.IPString(i)
+		if ip == "" || seen[ip] {
+			continue
+		}
+		seen[ip] = true
+		out = append(out, ip)
+	}
+	return out
 }
 
 // observedGeo picks a (ISP, country) pair actually present in the data,
@@ -120,6 +163,10 @@ func TestExecutorEquivalence(t *testing.T) {
 	pubs := f.somePublishers(3)
 	if len(pubs) == 0 {
 		t.Fatal("campaign produced no usernames")
+	}
+	targetIPs := f.someIPs(3)
+	if len(targetIPs) < 3 {
+		t.Fatal("campaign produced fewer than 3 distinct addresses")
 	}
 	start, end := f.ds.Start, f.ds.End
 	mid := start.Add(end.Sub(start) / 2)
@@ -202,19 +249,38 @@ func TestExecutorEquivalence(t *testing.T) {
 			Filter: query.Filter{MinTime: mid, SeedersOnly: true},
 			Limit:  200,
 		}},
+		{"ip-point-lookup", query.Query{
+			Filter:  query.Filter{IPs: targetIPs[:1]},
+			GroupBy: query.GroupBy{Key: query.ByTorrent},
+			Aggs:    []string{query.AggObservations, query.AggSeeders},
+		}},
+		{"ip-multi-lookup", query.Query{
+			Filter:  query.Filter{IPs: targetIPs},
+			GroupBy: query.GroupBy{Key: query.ByPublisher},
+			Aggs:    allAggs,
+		}},
+		{"ip-lookup-observations", query.Query{
+			Select: query.SelectObservations,
+			Filter: query.Filter{IPs: targetIPs[:1]},
+		}},
+		{"ip-lookup-no-match", query.Query{
+			Filter:  query.Filter{IPs: []string{"203.0.113.254"}},
+			GroupBy: query.GroupBy{Key: query.ByTorrent},
+		}},
 	}
 
 	ctx := context.Background()
 	nonEmpty := 0
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := mustJSON(t, exec(t, f.lkx, ctx, tc.q))
 			want := mustJSON(t, exec(t, f.mem, ctx, tc.q))
-			if got != want {
-				t.Errorf("executors diverge:\nmemory: %.2000s\nlake:   %.2000s", want, got)
+			for _, le := range f.lakeExecutors() {
+				if got := mustJSON(t, exec(t, le.ex, ctx, tc.q)); got != want {
+					t.Errorf("%s diverges from memory:\nmemory: %.2000s\nlake:   %.2000s", le.name, want, got)
+				}
 			}
 			var res query.Result
-			if err := json.Unmarshal([]byte(got), &res); err != nil {
+			if err := json.Unmarshal([]byte(want), &res); err != nil {
 				t.Fatal(err)
 			}
 			if res.Total > 0 {
@@ -224,7 +290,7 @@ func TestExecutorEquivalence(t *testing.T) {
 			}
 		})
 	}
-	if nonEmpty < len(cases)-1 { // only the no-match case may be empty
+	if nonEmpty < len(cases)-2 { // only the two no-match cases may be empty
 		t.Errorf("only %d/%d cases matched data — fixture too sparse for a meaningful gate", nonEmpty, len(cases))
 	}
 }
@@ -241,10 +307,14 @@ func TestExecutorEquivalenceCursorWalk(t *testing.T) {
 		Limit:   7,
 	}
 	for page := 0; ; page++ {
-		lres := exec(t, f.lkx, ctx, q)
 		mres := exec(t, f.mem, ctx, q)
-		if got, want := mustJSON(t, lres), mustJSON(t, mres); got != want {
-			t.Fatalf("page %d diverges:\nmemory: %s\nlake:   %s", page, want, got)
+		want := mustJSON(t, mres)
+		var lres *query.Result
+		for _, le := range f.lakeExecutors() {
+			lres = exec(t, le.ex, ctx, q)
+			if got := mustJSON(t, lres); got != want {
+				t.Fatalf("page %d: %s diverges:\nmemory: %s\nlake:   %s", page, le.name, want, got)
+			}
 		}
 		if lres.NextCursor == "" {
 			if page == 0 {
@@ -346,5 +416,92 @@ func TestLakeQueryPushdown(t *testing.T) {
 	// [total-window, total-1] holds exactly windowNs seconds of them.
 	if want := windowNs / int64(time.Second); obs != want {
 		t.Fatalf("window observations = %d, want %d", obs, want)
+	}
+}
+
+// TestLakeQueryPointLookup is the microindex acceptance gate: an IP
+// point lookup against a many-segment lake whose blooms are saturated
+// (thousands of distinct addresses per segment) must open only the one
+// segment that actually holds the address — postings prune the rest.
+func TestLakeQueryPointLookup(t *testing.T) {
+	t0 := time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+	lk, err := lake.Open(filepath.Join(t.TempDir(), "lake"), lake.Options{FlushRows: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	// Every row gets a distinct address, so each 4096-row segment holds
+	// ~4096 distinct IPs — far past the point where the 64-bit segment
+	// bloom saturates and answers "maybe" for everything.
+	const total = 120_000
+	const target = "198.51.100.7"
+	const targetRow = 57_003
+	for i := 0; i < total; i++ {
+		ip := fmt.Sprintf("10.%d.%d.%d", (i>>16)&255, (i>>8)&255, i&255)
+		if i == targetRow {
+			ip = target
+		}
+		err := lk.Append(dataset.Observation{
+			TorrentID: i % 100,
+			IP:        ip,
+			At:        t0.Add(time.Duration(i) * time.Second),
+			Seeder:    i%3 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	segs := lk.Stats().Segments
+	if segs < 10 {
+		t.Fatalf("segments = %d, want many", segs)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lkx, err := query.NewLake(lk, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := query.Query{
+		Filter:  query.Filter{IPs: []string{target}},
+		GroupBy: query.GroupBy{Key: query.ByTorrent},
+		Aggs:    []string{query.AggObservations},
+	}
+
+	// The plan alone must already pin the scan to one segment.
+	pl, err := lkx.Explain(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Opened) != 1 {
+		t.Fatalf("plan opens %d segments (%v), want exactly 1", len(pl.Opened), pl.Opened)
+	}
+	if pl.PrunedPostings == 0 {
+		t.Fatalf("plan pruned no segments via postings: %+v", pl)
+	}
+	if pl.PrunedZone+pl.PrunedPostings+len(pl.Opened) != pl.Segments {
+		t.Fatalf("plan does not account for every segment: %+v", pl)
+	}
+
+	before := lk.Stats()
+	res, err := lkx.Execute(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := lk.Stats()
+	if read := after.SegmentsRead - before.SegmentsRead; read != 1 {
+		t.Fatalf("point lookup read %d segments, want exactly 1", read)
+	}
+	if skipped := after.SegmentsSkippedPostings - before.SegmentsSkippedPostings; skipped < int64(segs)-2 {
+		t.Fatalf("postings skipped only %d of %d segments", skipped, segs)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Key != fmt.Sprint(targetRow%100) ||
+		res.Groups[0].Aggs[query.AggObservations] != 1 {
+		t.Fatalf("point lookup result wrong: %s", mustJSON(t, res))
 	}
 }

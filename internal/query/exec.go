@@ -24,6 +24,7 @@ type plan struct {
 	minNs, maxNs int64
 	tids         map[int32]bool  // nil = all
 	pubs         map[string]bool // nil = all
+	ips          map[string]bool
 	isps         map[string]bool
 	countries    map[string]bool
 	bucketNs     int64
@@ -56,6 +57,7 @@ func newPlan(q Query) (*plan, *Error) {
 		}
 	}
 	p.pubs = stringSet(f.Publishers)
+	p.ips = stringSet(f.IPs)
 	p.isps = stringSet(f.ISPs)
 	p.countries = stringSet(f.Countries)
 	p.bucketNs = int64(nq.GroupBy.Bucket)
@@ -108,31 +110,51 @@ type geoRec struct {
 	isp, country string
 }
 
-// env resolves observation context. Geo lookups are memoized per
-// distinct address string; torrent metadata is pre-resolved once from
-// the records the caller supplies.
-type env struct {
+// envMeta is the immutable part of an environment — torrent metadata
+// pre-resolved once from the records the caller supplies, plus the geo
+// DB. It is shared across every fork of an env, so parallel workers
+// resolve publishers and categories off one table.
+type envMeta struct {
 	db   *geoip.DB
-	geo  map[string]geoRec
 	pubs map[int32]string // torrent ID -> publisher key
 	cats map[int32]string // torrent ID -> normalized content type
 }
 
+// env resolves observation context. Geo lookups are memoized per
+// distinct address string in a per-env map — fork gives each parallel
+// worker its own memo over the shared metadata, so no lock guards the
+// hot path.
+type env struct {
+	*envMeta
+	geo map[string]geoRec
+}
+
 func newEnv(db *geoip.DB, recs []*dataset.TorrentRecord, p *plan) *env {
-	e := &env{db: db}
+	m := &envMeta{db: db}
+	if p.needsMeta() {
+		m.pubs = make(map[int32]string, len(recs))
+		m.cats = make(map[int32]string, len(recs))
+		for _, rec := range recs {
+			tid := int32(rec.TorrentID)
+			m.pubs[tid] = publisherKey(rec)
+			m.cats[tid] = analysis.NormalizeCategory(rec.Category)
+		}
+	}
+	e := &env{envMeta: m}
 	if p.needsGeo() {
 		e.geo = make(map[string]geoRec)
 	}
-	if p.needsMeta() {
-		e.pubs = make(map[int32]string, len(recs))
-		e.cats = make(map[int32]string, len(recs))
-		for _, rec := range recs {
-			tid := int32(rec.TorrentID)
-			e.pubs[tid] = publisherKey(rec)
-			e.cats[tid] = analysis.NormalizeCategory(rec.Category)
-		}
-	}
 	return e
+}
+
+// fork returns an env sharing this one's metadata with its own geo
+// memo, safe to use from a different goroutine.
+func (e *env) fork() *env {
+	f := &env{envMeta: e.envMeta}
+	if e.geo != nil {
+		f.geo = make(map[string]geoRec)
+	}
+	return f
 }
 
 // publisherKey resolves a torrent record to its publisher identity, the
@@ -198,13 +220,16 @@ type obsKey struct {
 
 // collector consumes observations (any order, any partitioning),
 // applies the full filter, and produces the final deterministic rows.
-// It is not safe for concurrent use; concurrent producers serialize
-// around it.
+// It is not safe for concurrent use; parallel executors feed one
+// collector per worker and fold them together with merge — aggregates
+// are commutative and finish imposes the total row order, so the final
+// rows are independent of how observations were partitioned.
 type collector struct {
 	p   *plan
 	env *env
 
 	ipIDs  map[string]uint32 // collector-local address intern
+	ipStrs []string          // reverse of ipIDs, for cross-collector remap
 	groups map[string]*groupState
 	obs    []obsKey
 
@@ -245,6 +270,9 @@ func (c *collector) add(tid int32, ip string, atNs int64, seeder bool) {
 		return
 	}
 	if p.q.Filter.SeedersOnly && !seeder {
+		return
+	}
+	if p.ips != nil && !p.ips[ip] {
 		return
 	}
 	if p.pubs != nil && !p.pubs[c.env.publisher(tid)] {
@@ -302,20 +330,7 @@ func (c *collector) add(tid int32, ip string, atNs int64, seeder bool) {
 		}
 	}
 
-	gs := c.groups[key]
-	if gs == nil {
-		gs = &groupState{key: key}
-		if p.wantIPs {
-			gs.ips = map[uint32]struct{}{}
-		}
-		if p.wantTorrents {
-			gs.tids = map[int32]struct{}{}
-		}
-		if p.wantSwarm {
-			gs.swarms = map[int32]map[uint32]struct{}{}
-		}
-		c.groups[key] = gs
-	}
+	gs := c.group(key)
 	gs.obs++
 	if seeder {
 		gs.seeders++
@@ -339,13 +354,66 @@ func (c *collector) add(tid int32, ip string, atNs int64, seeder bool) {
 	}
 }
 
+// group finds or creates one group's accumulator.
+func (c *collector) group(key string) *groupState {
+	gs := c.groups[key]
+	if gs == nil {
+		gs = &groupState{key: key}
+		if c.p.wantIPs {
+			gs.ips = map[uint32]struct{}{}
+		}
+		if c.p.wantTorrents {
+			gs.tids = map[int32]struct{}{}
+		}
+		if c.p.wantSwarm {
+			gs.swarms = map[int32]map[uint32]struct{}{}
+		}
+		c.groups[key] = gs
+	}
+	return gs
+}
+
 func (c *collector) internIP(ip string) uint32 {
 	if id, ok := c.ipIDs[ip]; ok {
 		return id
 	}
 	id := uint32(len(c.ipIDs))
 	c.ipIDs[ip] = id
+	c.ipStrs = append(c.ipStrs, ip)
 	return id
+}
+
+// merge folds another collector's partial state into this one. Distinct
+// sets carry the other collector's local intern IDs, so entries are
+// re-interned through this collector's table; counts add, sets union —
+// the result is exactly what one collector fed every observation would
+// hold.
+func (c *collector) merge(o *collector) {
+	if c.p.q.Select == SelectObservations {
+		c.obs = append(c.obs, o.obs...)
+		return
+	}
+	for key, og := range o.groups {
+		gs := c.group(key)
+		gs.obs += og.obs
+		gs.seeders += og.seeders
+		for id := range og.ips {
+			gs.ips[c.internIP(o.ipStrs[id])] = struct{}{}
+		}
+		for tid := range og.tids {
+			gs.tids[tid] = struct{}{}
+		}
+		for tid, sw := range og.swarms {
+			dst := gs.swarms[tid]
+			if dst == nil {
+				dst = map[uint32]struct{}{}
+				gs.swarms[tid] = dst
+			}
+			for id := range sw {
+				dst[c.internIP(o.ipStrs[id])] = struct{}{}
+			}
+		}
+	}
 }
 
 // finish sorts, paginates and renders the result.

@@ -1,14 +1,21 @@
-// The lake-backed executor: compiles the query filter into a
-// lake.Predicate so zone maps prune whole segments before they are
-// opened, resolves publisher filters into torrent-ID sets from the
-// lake's metadata records, and folds the streamed batches straight into
-// the shared collector — a grouped aggregate over a million-observation
-// lake never materializes a dataset.
+// The lake-backed executor: plans each query against the lake's
+// committed segment set and executes it in parallel. The filter is
+// compiled into a lake.Predicate so the lake's planner can prune whole
+// segments on zone maps and microindex postings and order the row
+// predicates cheapest-column-first; publisher filters resolve into
+// torrent-ID sets from the lake's metadata records. Execution
+// partitions the surviving segments across per-segment scan workers,
+// each feeding its own lock-free collector; the partial collectors are
+// merged into one and finished there, so the final rows are — by
+// construction — byte-identical to a serial scan feeding a single
+// collector. A grouped aggregate over a million-observation lake never
+// materializes a dataset.
 package query
 
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 
 	"btpub/internal/dataset"
@@ -16,79 +23,97 @@ import (
 	"btpub/internal/lake"
 )
 
-// Lake executes queries against a persistent observation lake.
-type Lake struct {
-	lk *lake.Lake
-	db *geoip.DB
-
-	// Torrent metadata is append-only in the lake, so the parsed records
-	// are cached per manifest version instead of re-reading the meta
-	// JSONL files on every query that touches publishers or categories.
-	mu      sync.Mutex
-	metaVer uint64
-	recs    []*dataset.TorrentRecord
+// metaCache caches the lake's parsed torrent records per manifest
+// version. Torrent metadata is append-only, so a version match means
+// the cached records are exact; derived executors (WithWorkers) share
+// one cache.
+type metaCache struct {
+	mu   sync.Mutex
+	lk   *lake.Lake
+	ver  uint64
+	recs []*dataset.TorrentRecord
 }
 
-// NewLake wraps a lake for querying.
-func NewLake(lk *lake.Lake, db *geoip.DB) (*Lake, error) {
-	if lk == nil || db == nil {
-		return nil, errors.New("query: lake and geo DB required")
-	}
-	return &Lake{lk: lk, db: db}, nil
-}
-
-// meta returns the committed torrent records, cached per lake version.
-func (e *Lake) meta() ([]*dataset.TorrentRecord, error) {
+// get returns the committed torrent records, cached per lake version.
+func (m *metaCache) get() ([]*dataset.TorrentRecord, error) {
 	// Read the version before the records: a commit landing in between
 	// stamps the cache with an older version than its content, which
 	// costs one redundant reload — never a stale read.
-	v := e.lk.Version()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.recs != nil && e.metaVer == v {
-		return e.recs, nil
+	v := m.lk.Version()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.recs != nil && m.ver == v {
+		return m.recs, nil
 	}
-	recs, _, err := e.lk.TorrentRecords()
+	recs, _, err := m.lk.TorrentRecords()
 	if err != nil {
 		return nil, err
 	}
 	if recs == nil {
 		recs = []*dataset.TorrentRecord{}
 	}
-	e.recs, e.metaVer = recs, v
+	m.recs, m.ver = recs, v
 	return recs, nil
+}
+
+// Lake executes queries against a persistent observation lake.
+type Lake struct {
+	lk *lake.Lake
+	db *geoip.DB
+	// workers is the scan parallelism: 0 = GOMAXPROCS, 1 = serial.
+	workers int
+	meta    *metaCache
+}
+
+// NewLake wraps a lake for querying. The executor scans in parallel
+// with GOMAXPROCS workers; WithWorkers derives differently-parallel
+// executors from the same handle.
+func NewLake(lk *lake.Lake, db *geoip.DB) (*Lake, error) {
+	if lk == nil || db == nil {
+		return nil, errors.New("query: lake and geo DB required")
+	}
+	return &Lake{lk: lk, db: db, meta: &metaCache{lk: lk}}, nil
+}
+
+// WithWorkers returns an executor over the same lake running n scan
+// workers per query (0 = GOMAXPROCS, 1 = a fully serial scan). The
+// derived executor shares the metadata cache; results are identical for
+// every n — only the wall-clock changes.
+func (e *Lake) WithWorkers(n int) *Lake {
+	if n < 0 {
+		n = 0
+	}
+	return &Lake{lk: e.lk, db: e.db, workers: n, meta: e.meta}
+}
+
+// resolveWorkers returns the actual scan parallelism for one execution.
+func (e *Lake) resolveWorkers() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Execute answers one query.
 func (e *Lake) Execute(ctx context.Context, q Query) (*Result, error) {
-	p, perr := newPlan(q)
+	p, recs, perr := e.prepare(q)
 	if perr != nil {
 		return nil, perr
 	}
-	var recs []*dataset.TorrentRecord
-	if p.needsMeta() {
-		var err error
-		if recs, err = e.meta(); err != nil {
-			return nil, err
-		}
-	}
-	c := newCollector(p, newEnv(e.db, recs, p))
+	pred := compilePred(p, recs)
+	env := newEnv(e.db, recs, p)
 
-	pred := lake.Predicate{SeedersOnly: p.q.Filter.SeedersOnly}
-	if !p.q.Filter.MinTime.IsZero() {
-		pred.MinTime = p.q.Filter.MinTime
+	// One collector per scan worker: ScanWorkers guarantees at most one
+	// in-flight callback per worker index, so no lock guards add(); the
+	// partials are folded together once the scan completes.
+	nw := e.resolveWorkers()
+	parts := make([]*collector, nw)
+	parts[0] = newCollector(p, env)
+	for i := 1; i < nw; i++ {
+		parts[i] = newCollector(p, env.fork())
 	}
-	if !p.q.Filter.MaxTime.IsZero() {
-		pred.MaxTime = p.q.Filter.MaxTime
-	}
-	if tids := e.pushdownTIDs(p, recs); tids != nil {
-		pred.TorrentIDs = tids
-	}
-
-	var mu sync.Mutex
-	err := e.lk.Scan(ctx, pred, func(b *lake.Batch) error {
-		mu.Lock()
-		defer mu.Unlock()
+	err := e.lk.ScanWorkers(ctx, pred, nw, func(w int, b *lake.Batch) error {
+		c := parts[w]
 		for k := 0; k < b.Len(); k++ {
 			c.add(int32(b.TorrentID(k)), b.IP(k), b.UnixNano(k), b.Seeder(k))
 		}
@@ -97,16 +122,115 @@ func (e *Lake) Execute(ctx context.Context, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.finish()
+	root := parts[0]
+	for _, o := range parts[1:] {
+		root.merge(o)
+	}
+	return root.finish()
+}
+
+// Explain describes how Execute would answer the query without reading
+// any observation data: the planned predicate order, the fate of every
+// committed segment (zone-map pruned, postings pruned, opened) and the
+// scan parallelism. It is the payload behind `btpub-query -explain`.
+type Explain struct {
+	// Workers is the scan parallelism Execute would use.
+	Workers int `json:"workers"`
+	// Predicates lists the active row-predicate columns in planned
+	// (cheapest-first) evaluation order.
+	Predicates []string `json:"predicates"`
+	// Segments counts the lake's committed segments.
+	Segments int `json:"segments"`
+	// PrunedZone counts segments dismissed by zone maps alone.
+	PrunedZone int `json:"pruned_zone"`
+	// PrunedPostings counts bloom-maybe segments dismissed by exact
+	// microindex postings.
+	PrunedPostings int `json:"pruned_postings"`
+	// Opened lists the segment files the scan would read.
+	Opened []string `json:"opened"`
+	// Rows is the total row count of the opened segments.
+	Rows int64 `json:"rows"`
+	// PushdownTorrentIDs is the size of the torrent-ID set the filter
+	// compiled down to (publisher names resolved against metadata), or
+	// -1 when the filter does not restrict torrents.
+	PushdownTorrentIDs int `json:"pushdown_torrent_ids"`
+}
+
+// Explain plans one query without executing it.
+func (e *Lake) Explain(ctx context.Context, q Query) (*Explain, error) {
+	p, recs, perr := e.prepare(q)
+	if perr != nil {
+		return nil, perr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pred := compilePred(p, recs)
+	sp := e.lk.PlanScan(pred)
+	ex := &Explain{
+		Workers:            e.resolveWorkers(),
+		Predicates:         sp.Predicates,
+		Segments:           sp.Segments,
+		PrunedZone:         sp.PrunedZone,
+		PrunedPostings:     sp.PrunedPostings,
+		Opened:             sp.Opened,
+		Rows:               sp.Rows,
+		PushdownTorrentIDs: -1,
+	}
+	if ex.Workers > len(sp.Opened) && len(sp.Opened) > 0 {
+		ex.Workers = len(sp.Opened)
+	}
+	if pred.TorrentIDs != nil {
+		ex.PushdownTorrentIDs = len(pred.TorrentIDs)
+	}
+	return ex, nil
+}
+
+// prepare compiles the query and loads torrent metadata when the plan
+// needs it. The returned error is a *Error for invalid queries and a
+// plain error for lake I/O failures, so HTTP layers keep mapping them
+// to 400 and 500 respectively.
+func (e *Lake) prepare(q Query) (*plan, []*dataset.TorrentRecord, error) {
+	p, perr := newPlan(q)
+	if perr != nil {
+		return nil, nil, perr
+	}
+	var recs []*dataset.TorrentRecord
+	if p.needsMeta() {
+		var err error
+		if recs, err = e.meta.get(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, recs, nil
+}
+
+// compilePred lowers the plan's filter into the lake predicate the scan
+// planner prunes on.
+func compilePred(p *plan, recs []*dataset.TorrentRecord) lake.Predicate {
+	pred := lake.Predicate{
+		SeedersOnly: p.q.Filter.SeedersOnly,
+		IPs:         p.q.Filter.IPs,
+	}
+	if !p.q.Filter.MinTime.IsZero() {
+		pred.MinTime = p.q.Filter.MinTime
+	}
+	if !p.q.Filter.MaxTime.IsZero() {
+		pred.MaxTime = p.q.Filter.MaxTime
+	}
+	if tids := pushdownTIDs(p, recs); tids != nil {
+		pred.TorrentIDs = tids
+	}
+	return pred
 }
 
 // pushdownTIDs compiles the torrent-ID and publisher filters into one
 // predicate ID set (nil = no restriction). Publisher names are resolved
 // against the metadata records; validation guarantees names are
 // non-empty, so an observation whose torrent has no record can never
-// match the publisher filter — dropping it at the zone-map layer is
+// match the publisher filter — dropping it at the planning layer is
 // exact, not approximate.
-func (e *Lake) pushdownTIDs(p *plan, recs []*dataset.TorrentRecord) []int {
+func pushdownTIDs(p *plan, recs []*dataset.TorrentRecord) []int {
 	if p.tids == nil && p.pubs == nil {
 		return nil
 	}

@@ -110,6 +110,12 @@ type Filter struct {
 	// torrent-ID set without diverging from the in-memory executor on
 	// observations whose torrent has no metadata record.
 	Publishers []string `json:"publishers,omitempty"`
+	// IPs restricts to observations of these exact peer address strings
+	// — the point-lookup filter ("every observation of IP x"). The lake
+	// executor pushes it down to per-segment microindex postings, so
+	// only segments that actually observed one of the addresses are
+	// opened.
+	IPs []string `json:"ips,omitempty"`
 	// ISPs restricts to observations whose peer address resolves to one
 	// of these providers.
 	ISPs []string `json:"isps,omitempty"`
@@ -240,7 +246,7 @@ func (q Query) normalize() (Query, *Error) {
 	for _, set := range []struct {
 		name string
 		vals []string
-	}{{"publishers", f.Publishers}, {"isps", f.ISPs}, {"countries", f.Countries}} {
+	}{{"publishers", f.Publishers}, {"ips", f.IPs}, {"isps", f.ISPs}, {"countries", f.Countries}} {
 		for _, v := range set.vals {
 			if v == "" {
 				return q, badf("bad_query", "filter.%s must not contain empty strings", set.name)

@@ -2,6 +2,7 @@ package btpub
 
 import (
 	"context"
+	"fmt"
 	"path/filepath"
 	"testing"
 	"time"
@@ -56,6 +57,129 @@ func BenchmarkQueryLake(b *testing.B) {
 	}
 	q := queryBenchQuery(ds.Start, ds.NumObservations())
 	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ex.Execute(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
+			b.Fatal("benchmark query matched nothing")
+		}
+	}
+}
+
+// queryBenchLake ingests the shared 1M-observation fixture into a
+// fresh lake and returns an executor over it (setup is untimed).
+func queryBenchLake(b *testing.B) (*dataset.Dataset, *query.Lake) {
+	b.Helper()
+	ds := queryBenchDataset()
+	lk, err := lake.Open(filepath.Join(b.TempDir(), "lake"), lake.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { lk.Close() })
+	if err := lk.ImportDataset(ds); err != nil {
+		b.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := query.NewLake(lk, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, ex
+}
+
+// queryBenchFullQuery is the full-lake grouped aggregate the
+// serial-vs-parallel pair runs: no time filter, so every segment is
+// opened and the scan cost dominates — the shape where partitioning
+// segments across workers pays.
+func queryBenchFullQuery() query.Query {
+	return query.Query{
+		GroupBy: query.GroupBy{Key: query.ByTorrent},
+		Aggs:    []string{query.AggObservations, query.AggDistinctIPs, query.AggSeeders},
+		OrderBy: query.OrderBy{Field: query.AggObservations, Desc: true},
+		Limit:   100,
+	}
+}
+
+// BenchmarkQueryLakeSerial runs the full-lake grouped aggregate with
+// one scan worker — the baseline BenchmarkQueryLakeParallel is read
+// against.
+func BenchmarkQueryLakeSerial(b *testing.B) {
+	_, ex := queryBenchLake(b)
+	benchQuery(b, ex.WithWorkers(1), queryBenchFullQuery())
+}
+
+// BenchmarkQueryLakeParallel runs the identical full-lake grouped
+// aggregate with GOMAXPROCS scan workers (per-segment partitioning, one
+// collector per worker, deterministic merge). Results are byte-identical
+// to the serial run — TestExecutorEquivalence enforces that — so the
+// ns/op ratio between this pair is pure scan-parallelism speedup.
+func BenchmarkQueryLakeParallel(b *testing.B) {
+	_, ex := queryBenchLake(b)
+	benchQuery(b, ex, queryBenchFullQuery())
+}
+
+// BenchmarkQueryPointLookup measures a single-IP lookup against a
+// 1M-observation lake whose segments hold mostly disjoint address sets:
+// the planner's microindex postings pass prunes every segment but the
+// one holding the address, so an op is one postings consult (cached
+// after the first op) plus one segment scan.
+func BenchmarkQueryPointLookup(b *testing.B) {
+	t0 := time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+	lk, err := lake.Open(filepath.Join(b.TempDir(), "lake"), lake.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lk.Close()
+	const total = 1_000_000
+	const target = "198.51.100.7"
+	for i := 0; i < total; i++ {
+		ip := fmt.Sprintf("10.%d.%d.%d", (i>>16)&255, (i>>8)&255, i&255)
+		if i == 600_000 {
+			ip = target
+		}
+		err := lk.Append(dataset.Observation{
+			TorrentID: i % 1000, IP: ip,
+			At: t0.Add(time.Duration(i) * time.Second), Seeder: i%64 == 0,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := lk.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := query.NewLake(lk, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchQuery(b, ex, query.Query{
+		Filter:  query.Filter{IPs: []string{target}},
+		GroupBy: query.GroupBy{Key: query.ByTorrent},
+		Aggs:    []string{query.AggObservations},
+	})
+}
+
+// benchQuery is the timed loop shared by the query benchmarks. One
+// untimed warm-up run populates the lake's per-file caches (microindex
+// postings, torrent metadata), so the measured ops — and the alloc
+// ceilings on them — reflect steady state rather than first-touch
+// decode cost.
+func benchQuery(b *testing.B, ex *query.Lake, q query.Query) {
+	b.Helper()
+	ctx := context.Background()
+	if _, err := ex.Execute(ctx, q); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := ex.Execute(ctx, q)
