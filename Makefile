@@ -16,10 +16,18 @@ QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory|BenchmarkQueryPointLookup
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: test bench bench-campaign bench-lake bench-query bench-smoke fmt vet
+.PHONY: test test-faults bench bench-campaign bench-lake bench-query bench-smoke fmt vet
 
 test:
 	go build ./... && go test ./...
+
+# Exhaustive kill-point torture: replay the lake workload with a crash
+# (clean and torn-write) injected at EVERY filesystem operation, plus the
+# EIO/ENOSPC injection sweep, under the race detector. The plain test run
+# samples kill points; this enumerates them (BTPUB_FAULT_KILLPOINTS=all),
+# same as nightly CI.
+test-faults:
+	BTPUB_FAULT_KILLPOINTS=all go test -race -run 'TestKillPointTorture|TestInjectedIOErrors' -v ./internal/lake
 
 # Run the E1–E15 suite with -benchmem and record the perf trajectory as
 # BENCH_<date>.json (cmd/benchjson parses the text output).

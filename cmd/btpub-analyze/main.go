@@ -58,13 +58,14 @@ func main() {
 	topK := flag.Int("topk", 0, "top-K publisher cut (0 = the paper's 3% rule; local modes only)")
 	gap := flag.Duration("gap", 0, "session gap threshold (0 = the paper's ~4h)")
 	n := flag.Int("n", 10, "Table 2 row count (with -remote)")
+	timeout := flag.Duration("timeout", 0, "per-request HTTP timeout for -remote (0 = client default, negative = none)")
 	flag.Parse()
 
 	if *remote != "" {
 		if *lakeDir != "" || *imp != "" {
 			log.Fatal("-remote is mutually exclusive with -lake and -import")
 		}
-		if err := runRemote(*remote, *n); err != nil {
+		if err := runRemote(*remote, *n, *timeout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -113,8 +114,9 @@ func main() {
 // runRemote renders the server-side tables: the exact text a local
 // analysis would print, but produced by the running btpub-serve from its
 // cached snapshot — no dataset ever leaves the server.
-func runRemote(base string, n int) error {
+func runRemote(base string, n int, timeout time.Duration) error {
 	c := apiclient.New(base)
+	c.Timeout = timeout
 	ctx := context.Background()
 	st, err := c.Stats(ctx)
 	if err != nil {

@@ -66,6 +66,7 @@ func run() error {
 	cursor := flag.String("cursor", "", "resume a paginated walk")
 	asJSON := flag.Bool("json", false, "print the raw JSON result instead of a table")
 	explain := flag.Bool("explain", false, "print the query plan (predicate order, segment pruning, workers) instead of executing")
+	timeout := flag.Duration("timeout", 0, "per-request HTTP timeout for -remote (0 = client default, negative = none)")
 	flag.Parse()
 
 	if (*lakeDir == "") == (*remote == "") {
@@ -115,7 +116,7 @@ func run() error {
 		}
 		return explainLocal(ctx, q, *lakeDir, *asJSON)
 	}
-	res, err := execute(ctx, q, *lakeDir, *remote)
+	res, err := execute(ctx, q, *lakeDir, *remote, *timeout)
 	if err != nil {
 		return err
 	}
@@ -128,9 +129,11 @@ func run() error {
 	return render(os.Stdout, q, res)
 }
 
-func execute(ctx context.Context, q query.Query, lakeDir, remote string) (*query.Result, error) {
+func execute(ctx context.Context, q query.Query, lakeDir, remote string, timeout time.Duration) (*query.Result, error) {
 	if remote != "" {
-		return apiclient.New(remote).Query(ctx, q)
+		c := apiclient.New(remote)
+		c.Timeout = timeout
+		return c.Query(ctx, q)
 	}
 	lk, err := lake.Open(lakeDir, lake.Options{})
 	if err != nil {

@@ -68,6 +68,8 @@ func run() error {
 	scenarios := flag.String("scenarios", "", "adversarial publisher profiles for -live (alias,churn,blitz,purge; or all)")
 	topK := flag.Int("topk", 0, "top-K publisher cut (0 = the paper's 3% rule)")
 	salvage := flag.Bool("salvage", false, "drop corrupt segments at open instead of failing")
+	maxConc := flag.Int("max-concurrent", 0, "max in-flight API requests before shedding 429s (0 = default, negative = unlimited)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request wall-clock budget (0 = default, negative = none)")
 	flag.Parse()
 
 	lk, err := lake.Open(*dir, lake.Options{Salvage: *salvage, Compact: lake.CompactOptions{Auto: true}})
@@ -95,7 +97,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := &lakeserve.Server{Lake: lk, Geo: db, TopK: *topK}
+	srv := &lakeserve.Server{
+		Lake: lk, Geo: db, TopK: *topK,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *reqTimeout,
+	}
+	defer srv.Close()
 
 	if *live {
 		adv, err := population.ParseScenarios(*scenarios)

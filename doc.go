@@ -158,7 +158,49 @@
 // the envelope); cmd/btpub-query compiles flags into a Query against a
 // local lake or a remote server; btpub-analyze -remote renders the
 // server's tables; and btpub-serve drains in-flight requests via
-// http.Server.Shutdown on SIGINT/SIGTERM before closing the lake.
+// http.Server.Shutdown on SIGINT/SIGTERM, cancels background rebuilds
+// (Server.Close), then closes the lake.
+//
+// # Fault injection and resilient serving
+//
+// Every lake I/O goes through the internal/vfs seam (lake.Options.FS;
+// default vfs.OS, a thin veneer over package os), and
+// internal/vfs/faultfs is the deterministic, seeded, in-memory
+// implementation that tortures it: one global op counter makes fault
+// schedules replayable, FailAt injects EIO/ENOSPC at op k, CrashAt
+// simulates a machine death there — file bytes survive only to the
+// last fsync (torn mode keeps a seeded-random prefix of the un-synced
+// tail), metadata journals immediately, Recover() hands back the
+// surviving disk — and SetReadError/BlockReads flip reads to failing
+// or parked mid-serve. TestKillPointTorture records the full op
+// sequence of a flush->query->compact->reindex workload and replays it
+// with a crash at every op index (clean and torn), asserting the
+// survivor reopens without Salvage, passes Verify, and holds exactly a
+// committed prefix of the appends; TestInjectedIOErrors sweeps
+// EIO/ENOSPC through the same sequence. CI samples 64 kill points
+// under -race on every push; `make test-faults` and nightly CI
+// enumerate all of them (BTPUB_FAULT_KILLPOINTS=all).
+//
+// The serving tier bounds and reports its failure modes: admission
+// control (Server.MaxConcurrent, default 128; excess requests shed
+// with 429 + Retry-After and the "overloaded" envelope), a per-request
+// timeout (Server.RequestTimeout, default 30s; expiry is a 503
+// "timeout" envelope) wrapped outside admission so slots release only
+// when abandoned handlers finish, /healthz and /readyz probes that
+// bypass both (readyz = lake open + first snapshot built, and kicks
+// the build while unready), and a circuit breaker with exponential
+// backoff (Server.RefreshBackoff) around background snapshot rebuilds,
+// which run under the server lifecycle context rather than the kicking
+// request's. Degraded operation is visible, never silent: responses
+// carry X-Btpub-Snapshot-Version, plus X-Btpub-Snapshot-Stale when the
+// snapshot lags the lake and X-Btpub-Degraded: rebuild-failed when the
+// lag comes from failing rebuilds, while /api/v1/stats reports
+// refresh_state, last_refresh_error and stale. internal/apiclient
+// defaults to a 30s exchange timeout and transparently retries
+// idempotent requests (GET, and the read-only POST /query) on
+// 429/503/transport errors with jittered exponential backoff honoring
+// Retry-After; btpub-serve exposes -max-concurrent/-request-timeout,
+// and btpub-query/btpub-analyze take -timeout for their remote modes.
 //
 // # Adversarial publisher scenarios
 //
@@ -186,8 +228,9 @@
 // (.github/workflows/ci.yml) stages the rest behind a fast lint job
 // (gofmt, build, vet — with the Go build cache restored per job), so
 // cheap failures never cost a race run: the test job runs the race
-// detector (including the lake's reader-during-compaction tests and
-// the parallel-executor equivalence gate), 15-second fuzz smokes of
+// detector (including the lake's reader-during-compaction tests, the
+// sampled kill-point torture and the parallel-executor equivalence
+// gate), 15-second fuzz smokes of
 // every Fuzz* target — discovered by listing, seeded from the
 // checked-in corpora under each package's testdata/fuzz/ — and a
 // dirty-working-tree check; the bench-smoke job runs a 1x pass of the
@@ -195,7 +238,8 @@
 // against checked-in ceilings (ci/bench-ceilings.txt, enforced by
 // cmd/benchjson) so allocation regressions fail loudly. A nightly
 // workflow (.github/workflows/nightly.yml) fuzzes every target for 5
-// minutes and runs the full benchmark suite — `make bench` (E1–E15)
+// minutes, runs the exhaustive kill-point torture (make test-faults),
+// and runs the full benchmark suite — `make bench` (E1–E15)
 // plus bench-campaign/bench-lake/bench-query — uploading the
 // BENCH_<date>.json records as artifacts, the perf trajectory. See
 // README.md for the shard/worker knobs on each binary and the measured

@@ -11,15 +11,31 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"btpub/internal/lakeserve"
 	"btpub/internal/query"
+)
+
+const (
+	// DefaultTimeout bounds one HTTP exchange when Client.Timeout is
+	// zero: a hung server fails the call instead of hanging the caller
+	// forever.
+	DefaultTimeout = 30 * time.Second
+	// DefaultRetries is the retry budget for idempotent requests when
+	// Client.Retries is zero.
+	DefaultRetries = 3
+	// DefaultRetryBase seeds the jittered exponential backoff between
+	// retries when Client.RetryBase is zero.
+	DefaultRetryBase = 100 * time.Millisecond
 )
 
 // Client talks to one btpub-serve instance.
@@ -27,8 +43,20 @@ type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8813". The
 	// /api/v1 prefix is appended per request.
 	BaseURL string
-	// HTTP overrides the transport (nil = http.DefaultClient).
+	// HTTP overrides the transport (nil = a client with Timeout).
 	HTTP *http.Client
+	// Timeout bounds one HTTP exchange when HTTP is nil (0 =
+	// DefaultTimeout, negative = none).
+	Timeout time.Duration
+	// Retries is how many times an idempotent request (GET, or the
+	// read-only POST /query) is retried after a retryable failure — a
+	// 429/503 answer or a transport error (0 = DefaultRetries, negative
+	// = no retries). Backoff is jittered-exponential from RetryBase and
+	// respects a server Retry-After.
+	Retries int
+	// RetryBase is the base backoff between retries (0 =
+	// DefaultRetryBase).
+	RetryBase time.Duration
 }
 
 // New builds a client for the server at baseURL.
@@ -41,6 +69,8 @@ type Error struct {
 	Status  int    // HTTP status
 	Code    string // envelope code ("bad_query", "not_found", ...)
 	Message string
+	// RetryAfter is the server's Retry-After hint (0 = none).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -52,26 +82,115 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	d := c.Timeout
+	if d == 0 {
+		d = DefaultTimeout
+	}
+	if d < 0 {
+		d = 0 // http.Client treats zero as no timeout
+	}
+	return &http.Client{Timeout: d}
+}
+
+// retries resolves the retry budget.
+func (c *Client) retries() int {
+	if c.Retries == 0 {
+		return DefaultRetries
+	}
+	if c.Retries < 0 {
+		return 0
+	}
+	return c.Retries
+}
+
+// idempotent reports whether (method, path) may be safely re-sent: every
+// GET, plus POST /query, which only reads the lake.
+func idempotent(method, path string) bool {
+	return method == http.MethodGet || (method == http.MethodPost && path == "/query")
+}
+
+// retryable reports whether err is worth re-sending: an explicit server
+// push-back (429 overloaded, 503 timeout/not-ready) or a transport
+// failure — but never a caller-cancelled context.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable
+	}
+	return true // transport error (connection refused, reset, client timeout)
+}
+
+// backoff computes the jittered-exponential sleep before retry attempt
+// (0-based), bumped up to the server's Retry-After when that is larger.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	base := c.RetryBase
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if attempt > 6 {
+		attempt = 6
+	}
+	d := base << attempt
+	// Half fixed, half uniform jitter: spreads a thundering herd of
+	// retriers without ever halving below base.
+	d = d/2 + rand.N(d/2+1)
+	var se *Error
+	if errors.As(err, &se) && se.RetryAfter > d {
+		d = se.RetryAfter
+	}
+	return d
 }
 
 // doRaw runs one request against an /api/v1 path and returns the raw
-// 2xx body; non-2xx responses are decoded from the error envelope. All
-// transport plumbing lives here so JSON and text endpoints share it.
+// 2xx body; non-2xx responses are decoded from the error envelope, and
+// idempotent requests are transparently retried on 429/503/transport
+// errors with jittered-exponential backoff. All transport plumbing
+// lives here so JSON and text endpoints share it.
 func (c *Client) doRaw(ctx context.Context, method, path string, in any) ([]byte, error) {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return nil, err
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	budget := 0
+	if idempotent(method, path) {
+		budget = c.retries()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		raw, err := c.send(ctx, method, path, payload)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		if attempt >= budget || !retryable(err) {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(c.backoff(attempt, err)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// send performs one HTTP exchange.
+func (c *Client) send(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+lakeserve.APIPrefix+path, body)
 	if err != nil {
 		return nil, err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -84,7 +203,11 @@ func (c *Client) doRaw(ctx context.Context, method, path string, in any) ([]byte
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, decodeError(resp.StatusCode, raw)
+		e := decodeError(resp.StatusCode, raw)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, e
 	}
 	return raw, nil
 }

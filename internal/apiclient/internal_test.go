@@ -1,0 +1,65 @@
+package apiclient
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDefaultTimeout: a nil HTTP client gets the default timeout; a
+// negative Timeout opts out entirely.
+func TestDefaultTimeout(t *testing.T) {
+	if d := (&Client{}).httpClient().Timeout; d != DefaultTimeout {
+		t.Fatalf("default timeout = %v, want %v", d, DefaultTimeout)
+	}
+	if d := (&Client{Timeout: 5 * time.Second}).httpClient().Timeout; d != 5*time.Second {
+		t.Fatalf("explicit timeout = %v, want 5s", d)
+	}
+	if d := (&Client{Timeout: -1}).httpClient().Timeout; d != 0 {
+		t.Fatalf("negative timeout = %v, want 0 (none)", d)
+	}
+	own := &http.Client{Timeout: time.Minute}
+	if got := (&Client{HTTP: own}).httpClient(); got != own {
+		t.Fatal("an explicit HTTP client must be used as-is")
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	for _, tc := range []struct {
+		method, path string
+		want         bool
+	}{
+		{http.MethodGet, "/stats", true},
+		{http.MethodGet, "/tables/1", true},
+		{http.MethodPost, "/query", true}, // read-only despite POST
+		{http.MethodPost, "/other", false},
+		{http.MethodDelete, "/stats", false},
+	} {
+		if got := idempotent(tc.method, tc.path); got != tc.want {
+			t.Errorf("idempotent(%s %s) = %v, want %v", tc.method, tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffBounds: jittered-exponential stays within [base/2, base]
+// per attempt (shifted), and a larger server Retry-After wins.
+func TestBackoffBounds(t *testing.T) {
+	c := &Client{RetryBase: 8 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		full := c.RetryBase << shift
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt, nil)
+			if d < full/2 || d > full {
+				t.Fatalf("backoff(%d) = %v, want within [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+	hinted := c.backoff(0, &Error{Status: 429, RetryAfter: time.Second})
+	if hinted != time.Second {
+		t.Fatalf("backoff with Retry-After hint = %v, want 1s", hinted)
+	}
+}

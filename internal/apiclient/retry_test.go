@@ -1,0 +1,179 @@
+// Client-side resilience: transparent retries on 429/503 push-back with
+// Retry-After honored, no retries on client errors, and the decoded
+// RetryAfter hint on typed errors.
+package apiclient_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btpub/internal/apiclient"
+	"btpub/internal/lakeserve"
+)
+
+// envelopeServer answers every request from script in order, repeating
+// the last entry once the script runs out, and counts the requests.
+type envelopeServer struct {
+	hits   atomic.Int64
+	script []scripted
+}
+
+type scripted struct {
+	status     int
+	code       string
+	retryAfter string
+}
+
+func (e *envelopeServer) handler(t *testing.T) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(e.hits.Add(1)) - 1
+		if i >= len(e.script) {
+			i = len(e.script) - 1
+		}
+		s := e.script[i]
+		if s.status == http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(lakeserve.StatsResponse{RefreshState: "idle"})
+			return
+		}
+		if s.retryAfter != "" {
+			w.Header().Set("Retry-After", s.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(s.status)
+		_ = json.NewEncoder(w).Encode(lakeserve.ErrorBody{
+			Error: lakeserve.ErrorDetail{Code: s.code, Message: "scripted"},
+		})
+	})
+}
+
+func scriptedClient(t *testing.T, script ...scripted) (*apiclient.Client, *envelopeServer) {
+	t.Helper()
+	es := &envelopeServer{script: script}
+	srv := httptest.NewServer(es.handler(t))
+	t.Cleanup(srv.Close)
+	c := apiclient.New(srv.URL)
+	c.HTTP = srv.Client()
+	c.RetryBase = time.Millisecond
+	return c, es
+}
+
+// TestRetriesThrough429 rides two 429s (with a zero Retry-After so the
+// test stays fast) to the eventual 200.
+func TestRetriesThrough429(t *testing.T) {
+	c, es := scriptedClient(t,
+		scripted{status: http.StatusTooManyRequests, code: "overloaded", retryAfter: "0"},
+		scripted{status: http.StatusTooManyRequests, code: "overloaded", retryAfter: "0"},
+		scripted{status: http.StatusOK},
+	)
+	st, err := c.Stats(t.Context())
+	if err != nil {
+		t.Fatalf("Stats after two 429s: %v", err)
+	}
+	if st.RefreshState != "idle" {
+		t.Fatalf("decoded %+v", st)
+	}
+	if n := es.hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two retried 429s)", n)
+	}
+}
+
+// TestRetriesThrough503 treats the server's timeout envelope the same
+// way.
+func TestRetriesThrough503(t *testing.T) {
+	c, es := scriptedClient(t,
+		scripted{status: http.StatusServiceUnavailable, code: "timeout", retryAfter: "0"},
+		scripted{status: http.StatusOK},
+	)
+	if _, err := c.Stats(t.Context()); err != nil {
+		t.Fatalf("Stats after a 503: %v", err)
+	}
+	if n := es.hits.Load(); n != 2 {
+		t.Fatalf("server saw %d requests, want 2", n)
+	}
+}
+
+// TestRetryBudgetExhausted surfaces the last typed error once the budget
+// runs out, RetryAfter hint included.
+func TestRetryBudgetExhausted(t *testing.T) {
+	c, es := scriptedClient(t,
+		scripted{status: http.StatusTooManyRequests, code: "overloaded", retryAfter: "1"},
+	)
+	c.Retries = 2
+	_, err := c.Stats(t.Context())
+	var se *apiclient.Error
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests || se.Code != "overloaded" {
+		t.Fatalf("got %v, want *Error{429 overloaded}", err)
+	}
+	if se.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", se.RetryAfter)
+	}
+	if n := es.hits.Load(); n != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", n)
+	}
+}
+
+// TestNoRetryOnClientError: a 400 is the caller's fault; re-sending it
+// would just fail again.
+func TestNoRetryOnClientError(t *testing.T) {
+	c, es := scriptedClient(t,
+		scripted{status: http.StatusBadRequest, code: "bad_param"},
+	)
+	_, err := c.Stats(t.Context())
+	var se *apiclient.Error
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("got %v, want *Error{400}", err)
+	}
+	if n := es.hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1 (no retries on 400)", n)
+	}
+}
+
+// TestRetriesDisabled: Retries < 0 means one shot, even on a 429.
+func TestRetriesDisabled(t *testing.T) {
+	c, es := scriptedClient(t,
+		scripted{status: http.StatusTooManyRequests, code: "overloaded"},
+	)
+	c.Retries = -1
+	if _, err := c.Stats(t.Context()); err == nil {
+		t.Fatal("want the 429 surfaced when retries are disabled")
+	}
+	if n := es.hits.Load(); n != 1 {
+		t.Fatalf("server saw %d requests, want exactly 1", n)
+	}
+}
+
+// TestRetriesTransportError: a dropped connection is retryable — the
+// server may just be restarting.
+func TestRetriesTransportError(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Drop the connection without a response: a transport-level
+			// error, not an HTTP status.
+			c, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.Close()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(lakeserve.StatsResponse{RefreshState: "idle"})
+	}))
+	t.Cleanup(srv.Close)
+	c := apiclient.New(srv.URL)
+	c.RetryBase = time.Millisecond
+	if _, err := c.Stats(t.Context()); err != nil {
+		t.Fatalf("Stats after a dropped connection: %v", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("saw %d exchanges, want 2 (drop, then success)", n)
+	}
+}

@@ -9,7 +9,6 @@ package lake
 
 import (
 	"fmt"
-	"path/filepath"
 )
 
 // CompactOptions tunes the compactor.
@@ -123,7 +122,7 @@ func (lk *Lake) compact() error {
 	lk.man.NextSeq++
 	name := fmt.Sprintf("seg-%06d.obs", seq)
 	buf := encodeSegment(st, merged.zone)
-	if err := writeFileSync(filepath.Join(lk.dir, name), buf); err != nil {
+	if err := lk.writeFileSync(name, buf); err != nil {
 		return err
 	}
 	// Compaction regenerates the microindex for the merged output, so a
@@ -131,7 +130,7 @@ func (lk *Lake) compact() error {
 	// including lakes whose victims predate microindexes entirely.
 	idxName := fmt.Sprintf("idx-%06d.ipx", seq)
 	idxBuf := encodeMicroindex(buildMicroindex(st))
-	if err := writeFileSync(filepath.Join(lk.dir, idxName), idxBuf); err != nil {
+	if err := lk.writeFileSync(idxName, idxBuf); err != nil {
 		return err
 	}
 	gone := make(map[string]bool, 2*len(victims))
@@ -154,11 +153,17 @@ func (lk *Lake) compact() error {
 	})
 	lk.man.Segments = keep
 	lk.man.Version++
-	if err := commitManifest(lk.dir, lk.man); err != nil {
+	if err := commitManifest(lk.fs, lk.man); err != nil {
 		return err
 	}
-	for f := range gone {
-		lk.dead = append(lk.dead, f)
+	// Retire in victim order (not map order) so file deletion — and with
+	// it the lake's whole fs-operation sequence — is deterministic, which
+	// the fault-injection kill-point tests replay against.
+	for _, v := range victims {
+		lk.dead = append(lk.dead, v.File)
+		if v.Index != "" {
+			lk.dead = append(lk.dead, v.Index)
+		}
 	}
 	lk.tryVacuumLocked()
 	return nil

@@ -12,18 +12,19 @@
 package lake
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"log"
 	"net/netip"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"btpub/internal/dataset"
+	"btpub/internal/vfs"
 )
 
 // maxTorrentID mirrors the dataset codec's bound: torrent IDs are dense
@@ -43,6 +44,11 @@ type Options struct {
 	// Data in the dropped segments is lost; everything else stays
 	// readable.
 	Salvage bool
+	// FS overrides the filesystem the lake does all its I/O through.
+	// Nil means the real OS filesystem rooted at the lake directory;
+	// tests substitute vfs/faultfs to inject I/O errors, torn writes and
+	// crashes deterministically.
+	FS vfs.FS
 }
 
 func (o *Options) setDefaults() {
@@ -61,6 +67,7 @@ type builder struct {
 // Lake is a handle on one lake directory.
 type Lake struct {
 	dir string
+	fs  vfs.FS
 	opt Options
 
 	// mu guards the manifest, the open builder, the pending meta records
@@ -99,10 +106,14 @@ type Lake struct {
 // failing segment into a logged drop instead of an error).
 func Open(dir string, opt Options) (*Lake, error) {
 	opt.setDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = vfs.OS(dir)
+	}
+	if err := fsys.MkdirAll(); err != nil {
 		return nil, err
 	}
-	man, ok, err := loadManifest(dir)
+	man, ok, err := loadManifest(fsys)
 	if err != nil {
 		return nil, err
 	}
@@ -117,20 +128,20 @@ func Open(dir string, opt Options) (*Lake, error) {
 		// reference so scans of this segment fall back to bloom pruning,
 		// and commit the degraded manifest below.
 		if s.Index != "" {
-			ist, err := os.Stat(filepath.Join(dir, s.Index))
-			if err != nil || ist.Size() != s.IndexBytes {
+			isz, err := fsys.Size(s.Index)
+			if err != nil || isz != s.IndexBytes {
 				log.Printf("lake: dropping microindex %s for %s (missing or resized); bloom pruning only", s.Index, s.File)
 				s.Index, s.IndexBytes = "", 0
 				salvaged = true
 			}
 		}
-		st, err := os.Stat(filepath.Join(dir, s.File))
+		sz, err := fsys.Size(s.File)
 		switch {
-		case err == nil && st.Size() == s.Bytes:
+		case err == nil && sz == s.Bytes:
 			keep = append(keep, s)
 			continue
 		case err == nil:
-			err = &CorruptSegmentError{File: s.File, Reason: fmt.Sprintf("size %d, manifest says %d", st.Size(), s.Bytes)}
+			err = &CorruptSegmentError{File: s.File, Reason: fmt.Sprintf("size %d, manifest says %d", sz, s.Bytes)}
 		case os.IsNotExist(err):
 			err = &CorruptSegmentError{File: s.File, Reason: "missing"}
 		}
@@ -143,26 +154,25 @@ func Open(dir string, opt Options) (*Lake, error) {
 	}
 	man.Segments = keep
 	for _, f := range man.Meta {
-		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+		if _, err := fsys.Size(f); err != nil {
 			return nil, fmt.Errorf("lake: meta file %s: %w", f, err)
 		}
 	}
 	// Remove files a crash orphaned (written but never committed) and any
 	// leftover tmp manifest. Only files this package names are touched.
-	entries, err := os.ReadDir(dir)
+	names, err := fsys.ReadDir()
 	if err != nil {
 		return nil, err
 	}
 	referenced := man.files()
-	for _, e := range entries {
-		name := e.Name()
+	for _, name := range names {
 		if !isLakeFile(name) {
 			continue
 		}
 		if _, ok := referenced[name]; ok {
 			continue
 		}
-		_ = os.Remove(filepath.Join(dir, name))
+		_ = fsys.Remove(name)
 	}
 	// NextTID must clear every torrent ID any committed segment mentions,
 	// not just the flushed torrent records: a crash between a live
@@ -174,10 +184,10 @@ func Open(dir string, opt Options) (*Lake, error) {
 			man.NextTID = s.MaxTID + 1
 		}
 	}
-	lk := &Lake{dir: dir, opt: opt, man: man, bld: newBuilder()}
+	lk := &Lake{dir: dir, fs: fsys, opt: opt, man: man, bld: newBuilder()}
 	if salvaged {
 		lk.man.Version++
-		if err := commitManifest(dir, lk.man); err != nil {
+		if err := commitManifest(fsys, lk.man); err != nil {
 			return nil, err
 		}
 	}
@@ -384,7 +394,7 @@ func (lk *Lake) flushLocked(autoCompact bool) error {
 		lk.man.NextSeq++
 		name := fmt.Sprintf("seg-%06d.obs", seq)
 		buf := encodeSegment(&lk.bld.store, lk.bld.zone)
-		if err := writeFileSync(filepath.Join(lk.dir, name), buf); err != nil {
+		if err := lk.writeFileSync(name, buf); err != nil {
 			lk.lastErr = err
 			return err
 		}
@@ -392,7 +402,7 @@ func (lk *Lake) flushLocked(autoCompact bool) error {
 		// before the manifest that references both is committed.
 		idxName := fmt.Sprintf("idx-%06d.ipx", seq)
 		idxBuf := encodeMicroindex(buildMicroindex(&lk.bld.store))
-		if err := writeFileSync(filepath.Join(lk.dir, idxName), idxBuf); err != nil {
+		if err := lk.writeFileSync(idxName, idxBuf); err != nil {
 			lk.lastErr = err
 			return err
 		}
@@ -417,7 +427,7 @@ func (lk *Lake) flushLocked(autoCompact bool) error {
 		md := &dataset.Dataset{Name: lk.man.Name, Start: lk.man.Start, End: lk.man.End}
 		md.Torrents = lk.pendT
 		md.Users = lk.pendU
-		if err := saveSync(filepath.Join(lk.dir, name), md); err != nil {
+		if err := lk.saveSync(name, md); err != nil {
 			lk.lastErr = err
 			return err
 		}
@@ -436,7 +446,7 @@ func (lk *Lake) flushLocked(autoCompact bool) error {
 		return nil
 	}
 	lk.man.Version++
-	if err := commitManifest(lk.dir, lk.man); err != nil {
+	if err := commitManifest(lk.fs, lk.man); err != nil {
 		lk.lastErr = err
 		return err
 	}
@@ -448,8 +458,8 @@ func (lk *Lake) flushLocked(autoCompact bool) error {
 
 // writeFileSync writes data and fsyncs before closing, so the manifest
 // can never reference a segment the disk does not yet hold.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.Create(path)
+func (lk *Lake) writeFileSync(name string, data []byte) error {
+	f, err := lk.fs.Create(name)
 	if err != nil {
 		return err
 	}
@@ -465,8 +475,8 @@ func writeFileSync(path string, data []byte) error {
 }
 
 // saveSync writes a meta dataset as JSONL with an fsync.
-func saveSync(path string, d *dataset.Dataset) error {
-	f, err := os.Create(path)
+func (lk *Lake) saveSync(name string, d *dataset.Dataset) error {
+	f, err := lk.fs.Create(name)
 	if err != nil {
 		return err
 	}
@@ -485,7 +495,7 @@ func saveSync(path string, d *dataset.Dataset) error {
 // scanMu (write) and mu.
 func (lk *Lake) deleteDeadLocked() {
 	for _, f := range lk.dead {
-		_ = os.Remove(filepath.Join(lk.dir, f))
+		_ = lk.fs.Remove(f)
 		lk.idxCache.Delete(f)
 	}
 	lk.dead = nil
@@ -689,7 +699,11 @@ func (lk *Lake) readMetaLocked(man *manifest) ([]*dataset.TorrentRecord, []datas
 	var torrents []*dataset.TorrentRecord
 	var users []dataset.UserRecord
 	for _, f := range man.Meta {
-		md, err := dataset.Load(filepath.Join(lk.dir, f))
+		buf, err := lk.fs.ReadFile(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lake: meta file %s: %w", f, err)
+		}
+		md, err := dataset.Read(bytes.NewReader(buf))
 		if err != nil {
 			return nil, nil, fmt.Errorf("lake: meta file %s: %w", f, err)
 		}
@@ -724,7 +738,7 @@ func (lk *Lake) Verify(ctx context.Context) []error {
 		if sm.Index == "" {
 			continue
 		}
-		buf, err := os.ReadFile(filepath.Join(lk.dir, sm.Index))
+		buf, err := lk.fs.ReadFile(sm.Index)
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -743,7 +757,7 @@ func (lk *Lake) Verify(ctx context.Context) []error {
 
 // readSegment loads and decodes one committed segment file.
 func (lk *Lake) readSegment(sm segMeta) (*segData, zone, error) {
-	buf, err := os.ReadFile(filepath.Join(lk.dir, sm.File))
+	buf, err := lk.fs.ReadFile(sm.File)
 	if err != nil {
 		return nil, zone{}, err
 	}
@@ -760,7 +774,7 @@ func (lk *Lake) readIndex(sm segMeta) (*microindex, error) {
 	if v, ok := lk.idxCache.Load(sm.Index); ok {
 		return v.(*microindex), nil
 	}
-	buf, err := os.ReadFile(filepath.Join(lk.dir, sm.Index))
+	buf, err := lk.fs.ReadFile(sm.Index)
 	if err != nil {
 		return nil, err
 	}

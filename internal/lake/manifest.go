@@ -11,9 +11,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"time"
+
+	"btpub/internal/vfs"
 )
 
 const (
@@ -82,10 +83,10 @@ func (m *manifest) files() map[string]int64 {
 	return out
 }
 
-// loadManifest reads dir's committed manifest; ok=false means the lake is
+// loadManifest reads the committed manifest; ok=false means the lake is
 // fresh (no manifest at all).
-func loadManifest(dir string) (*manifest, bool, error) {
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+func loadManifest(fsys vfs.FS) (*manifest, bool, error) {
+	data, err := fsys.ReadFile(manifestName)
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -102,15 +103,14 @@ func loadManifest(dir string) (*manifest, bool, error) {
 	return &m, true, nil
 }
 
-// commitManifest atomically replaces dir's manifest with m.
-func commitManifest(dir string, m *manifest) error {
+// commitManifest atomically replaces the committed manifest with m.
+func commitManifest(fsys vfs.FS, m *manifest) error {
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	tmp := filepath.Join(dir, manifestTmp)
-	f, err := os.Create(tmp)
+	f, err := fsys.Create(manifestTmp)
 	if err != nil {
 		return err
 	}
@@ -125,19 +125,12 @@ func commitManifest(dir string, m *manifest) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fsys.Rename(manifestTmp, manifestName); err != nil {
 		return err
 	}
-	syncDir(dir)
+	// Best-effort dir fsync so the rename itself is durable.
+	_ = fsys.SyncDir()
 	return nil
-}
-
-// syncDir best-effort fsyncs a directory so the rename itself is durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
 }
 
 // isLakeFile reports whether name looks like a file this package owns

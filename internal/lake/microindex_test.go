@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"btpub/internal/dataset"
+	"btpub/internal/vfs"
 )
 
 func sampleStore(rows int) *dataset.ObsStore {
@@ -155,7 +156,7 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 
 	// Rewrite the manifest as a pre-microindex lake: no index fields,
 	// no idx files.
-	man, ok, err := loadManifest(dir)
+	man, ok, err := loadManifest(vfs.OS(dir))
 	if err != nil || !ok {
 		t.Fatalf("loadManifest: %v, %v", err, ok)
 	}
@@ -172,7 +173,7 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 		man.Segments[i].Index, man.Segments[i].IndexBytes = "", 0
 	}
 	man.Version++
-	if err := commitManifest(dir, man); err != nil {
+	if err := commitManifest(vfs.OS(dir), man); err != nil {
 		t.Fatal(err)
 	}
 
@@ -210,7 +211,7 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 	if err := lk.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	man, _, err = loadManifest(dir)
+	man, _, err = loadManifest(vfs.OS(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestMissingIndexFileDegrades(t *testing.T) {
 	if err := lk.Close(); err != nil {
 		t.Fatal(err)
 	}
-	man, _, err := loadManifest(dir)
+	man, _, err := loadManifest(vfs.OS(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestMissingIndexFileDegrades(t *testing.T) {
 		t.Fatalf("missing index file blocked Open: %v", err)
 	}
 	defer lk.Close()
-	man, _, err = loadManifest(dir)
+	man, _, err = loadManifest(vfs.OS(dir))
 	if err != nil {
 		t.Fatal(err)
 	}

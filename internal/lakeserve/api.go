@@ -7,6 +7,7 @@
 package lakeserve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,7 +64,8 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 }
 
 // fail maps an error to its envelope: parameter and query errors are
-// the client's fault (400), everything else is ours (500).
+// the client's fault (400), a blown request deadline is 503 "timeout"
+// (retryable), everything else is ours (500).
 func fail(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if errors.As(err, &ae) {
@@ -73,6 +75,11 @@ func fail(w http.ResponseWriter, err error) {
 	var qe *query.Error
 	if errors.As(err, &qe) {
 		writeError(w, http.StatusBadRequest, qe.Code, qe.Message)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusServiceUnavailable, "timeout", "request timed out; retry shortly")
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "internal", err.Error())
@@ -144,7 +151,10 @@ func (p params) list(name string) ([]string, error) {
 
 // Handler builds the route table: every endpoint under /api/v1 plus the
 // legacy aliases, wrapped so even the mux's own 404/405 responses wear
-// the error envelope.
+// the error envelope. API routes sit behind the per-request timeout and
+// the admission bound (timeout outermost, so a slot is held until the
+// abandoned handler actually finishes); /healthz and /readyz bypass
+// both — an overloaded server must still answer its probes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -166,7 +176,12 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(method+" "+path, deprecated(rt.h))
 	}
 	mux.HandleFunc("POST "+APIPrefix+"/query", s.handleQuery)
-	return envelopeMiddleware(mux)
+
+	root := http.NewServeMux()
+	root.HandleFunc("GET /healthz", s.handleHealthz)
+	root.HandleFunc("GET /readyz", s.handleReadyz)
+	root.Handle("/", s.withTimeout(s.admit(mux)))
+	return envelopeMiddleware(root)
 }
 
 // deprecated marks a legacy-alias response. Bodies stay byte-identical
@@ -179,9 +194,11 @@ func deprecated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// envelopeMiddleware rewrites the mux's own plain-text 404/405 bodies
-// into the error envelope. Handler-written errors pass through: they
-// set the JSON content type before writing the header.
+// envelopeMiddleware rewrites bare non-JSON error bodies into the error
+// envelope: the mux's own plain-text 404/405, and http.TimeoutHandler's
+// empty 503 (which becomes the "timeout" envelope with Retry-After).
+// Handler-written errors pass through: they set the JSON content type
+// before writing the header.
 func envelopeMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
@@ -210,6 +227,12 @@ func (w *envelopeWriter) WriteHeader(code int) {
 			codeStr, msg = "method_not_allowed", "method not allowed for this route"
 		}
 		writeError(w.ResponseWriter, code, codeStr, msg)
+		return
+	}
+	if code == http.StatusServiceUnavailable && !strings.HasPrefix(ct, "application/json") {
+		w.swallow = true
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w.ResponseWriter, code, "timeout", "request timed out; retry shortly")
 		return
 	}
 	w.ResponseWriter.WriteHeader(code)

@@ -1,0 +1,347 @@
+// End-to-end resilience: health/readiness probes, admission control
+// shedding 429s under overload (and the apiclient riding through them),
+// degraded serving over a lake whose reads start failing mid-flight, and
+// the per-request timeout envelope. The lake sits on faultfs so read
+// faults can be injected and healed at arbitrary wall-clock moments.
+package lakeserve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btpub/internal/apiclient"
+	"btpub/internal/dataset"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+	"btpub/internal/lakeserve"
+	"btpub/internal/vfs/faultfs"
+)
+
+// seedFaultLake is seedLake over a faultfs volume, so tests can inject
+// read faults into a live serving lake.
+func seedFaultLake(t *testing.T) (*lake.Lake, *faultfs.FS) {
+	t.Helper()
+	fsys := faultfs.New(1)
+	lk, err := lake.Open("sim", lake.Options{FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lk.Close() })
+	ds := &dataset.Dataset{Name: "resilience-test", Start: serveT0, End: serveT0.Add(48 * time.Hour)}
+	for i := 0; i < 8; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, InfoHash: fmt.Sprintf("%040d", i),
+			Title: fmt.Sprintf("Content.%d", i), Category: "Video > Movies",
+			Username:  "publisher00",
+			Published: serveT0.Add(time.Duration(i) * time.Hour),
+		})
+		for j := 0; j < 25; j++ {
+			ds.AddObservation(dataset.Observation{
+				TorrentID: i, IP: fmt.Sprintf("20.0.0.%d", j%8+1),
+				At: serveT0.Add(time.Duration(i)*time.Hour + time.Duration(j)*10*time.Minute),
+			})
+		}
+	}
+	if err := lk.ImportDataset(dataset.Merge("resilience-test", ds)); err != nil {
+		t.Fatal(err)
+	}
+	return lk, fsys
+}
+
+// newResilientServer serves srv (with its resilience knobs set by the
+// caller) over httptest.
+func newResilientServer(t *testing.T, srv *lakeserve.Server) *httptest.Server {
+	t.Helper()
+	if srv.Geo == nil {
+		db, err := geoip.DefaultDB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Geo = db
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(srv.Close)
+	return hs
+}
+
+// getFull is get plus headers: status, headers, drained body.
+func getFull(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// checkErrEnvelope decodes an error envelope and asserts its code.
+func checkErrEnvelope(t *testing.T, body []byte, wantCode string) {
+	t.Helper()
+	var env lakeserve.ErrorBody
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v in %q", err, body)
+	}
+	if env.Error.Code != wantCode {
+		t.Fatalf("envelope code = %q, want %q (message: %s)", env.Error.Code, wantCode, env.Error.Message)
+	}
+}
+
+// TestHealthAndReadiness: /healthz answers immediately; /readyz is 503
+// "not_ready" before the first snapshot and converges to 200 on its own,
+// because an unready probe kicks the background build.
+func TestHealthAndReadiness(t *testing.T) {
+	lk, _ := seedFaultLake(t)
+	hs := newResilientServer(t, &lakeserve.Server{Lake: lk})
+
+	code, _, body := getFull(t, hs.URL+"/healthz")
+	if code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+
+	code, hdr, body := getFull(t, hs.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("first /readyz = %d, want 503 before the snapshot exists", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("unready /readyz is missing Retry-After")
+	}
+	checkErrEnvelope(t, body, "not_ready")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _, body = getFull(t, hs.URL+"/readyz")
+		if code == http.StatusOK {
+			if string(body) != "ready\n" {
+				t.Fatalf("ready /readyz body = %q", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never became ready (last = %d %s)", code, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// countingTransport counts HTTP exchanges, so a test can prove the
+// client really retried instead of succeeding first try.
+type countingTransport struct {
+	n  atomic.Int64
+	rt http.RoundTripper
+}
+
+func (c *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	c.n.Add(1)
+	return c.rt.RoundTrip(r)
+}
+
+// TestOverloadAdmission: with a bound of 2 and both slots parked on
+// blocked lake reads, further requests are shed with 429 + Retry-After —
+// and an apiclient with retries enabled rides the 429s to success once
+// the reads unblock.
+func TestOverloadAdmission(t *testing.T) {
+	lk, fsys := seedFaultLake(t)
+	t.Cleanup(fsys.UnblockReads) // registered after lk.Close: unblocks first
+	hs := newResilientServer(t, &lakeserve.Server{
+		Lake: lk, MaxConcurrent: 2, RequestTimeout: -1,
+	})
+
+	fsys.BlockReads()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(hs.URL + "/api/v1/torrents/0/observations")
+			if err != nil {
+				t.Errorf("parked request failed: %v", err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("parked request finished %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for fsys.BlockedReads() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request ever reached the blocked lake read")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One request is provably parked inside the lake; the second holds
+	// the other admission slot (possibly queued behind the first in the
+	// shared executor). Probe until the semaphore is observably full.
+	for {
+		code, hdr, body := getFull(t, hs.URL+"/api/v1/stats")
+		if code == http.StatusTooManyRequests {
+			checkErrEnvelope(t, body, "overloaded")
+			if ra := hdr.Get("Retry-After"); ra != "1" {
+				t.Fatalf("429 Retry-After = %q, want \"1\"", ra)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("overloaded server never shed a 429 (last = %d)", code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The client sees the same overload but absorbs it: jittered retries
+	// (honoring Retry-After) until the blocked reads heal.
+	ct := &countingTransport{rt: http.DefaultTransport}
+	c := apiclient.New(hs.URL)
+	c.HTTP = &http.Client{Transport: ct, Timeout: 30 * time.Second}
+	c.Retries = 50
+	c.RetryBase = 5 * time.Millisecond
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Observations(t.Context(), 0, 10)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let it collect a few 429s
+	fsys.UnblockReads()
+	if err := <-done; err != nil {
+		t.Fatalf("client did not ride through the overload: %v", err)
+	}
+	if n := ct.n.Load(); n < 2 {
+		t.Fatalf("client succeeded in %d exchange(s); expected at least one 429 retry", n)
+	}
+	wg.Wait()
+}
+
+// TestServeDegradedUnderReadFaults: when lake reads start failing, the
+// stale snapshot keeps answering (200 + staleness headers), the failed
+// rebuilds surface in /stats and as X-Btpub-Degraded, and healing the
+// reads clears it all.
+func TestServeDegradedUnderReadFaults(t *testing.T) {
+	lk, fsys := seedFaultLake(t)
+	srv := &lakeserve.Server{Lake: lk, RefreshBackoff: 10 * time.Millisecond}
+	hs := newResilientServer(t, srv)
+
+	// First request builds the snapshot synchronously while the disk is
+	// healthy.
+	code, _, body := getFull(t, hs.URL+"/api/v1/tables/1")
+	if code != http.StatusOK {
+		t.Fatalf("healthy /tables/1 = %d: %s", code, body)
+	}
+
+	// Commit a new lake version, then break every read: the snapshot is
+	// now stale and cannot be rebuilt.
+	if err := lk.Append(dataset.Observation{TorrentID: 0, IP: "20.0.0.99", At: serveT0.Add(72 * time.Hour)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SetReadError(faultfs.ErrIO)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, hdr, body := getFull(t, hs.URL+"/api/v1/tables/1")
+		if code != http.StatusOK {
+			t.Fatalf("degraded /tables/1 = %d (stale snapshot must keep serving): %s", code, body)
+		}
+		if hdr.Get("X-Btpub-Snapshot-Stale") != "true" {
+			t.Fatalf("degraded response is missing X-Btpub-Snapshot-Stale (headers: %v)", hdr)
+		}
+		if hdr.Get("X-Btpub-Degraded") == "rebuild-failed" {
+			break // a rebuild has failed and the response says so
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("X-Btpub-Degraded never appeared despite failing rebuilds")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, _, body = getFull(t, hs.URL+"/api/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	var st lakeserve.StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastRefreshError == "" || !st.Stale {
+		t.Fatalf("degraded /stats = {refresh_state:%q last_refresh_error:%q stale:%v}, want an error and stale=true",
+			st.RefreshState, st.LastRefreshError, st.Stale)
+	}
+
+	// Heal the disk: polling a snapshot endpoint keeps kicking rebuilds
+	// (breaker permitting) until one succeeds and the degraded state
+	// clears.
+	fsys.SetReadError(nil)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		code, hdr, _ := getFull(t, hs.URL+"/api/v1/tables/1")
+		if code == http.StatusOK && hdr.Get("X-Btpub-Snapshot-Stale") == "" {
+			if h := hdr.Get("X-Btpub-Degraded"); h != "" {
+				t.Fatalf("recovered response still carries X-Btpub-Degraded=%q", h)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never recovered after reads healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	code, _, body = getFull(t, hs.URL+"/api/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats = %d", code)
+	}
+	st = lakeserve.StatsResponse{}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LastRefreshError != "" || st.Stale {
+		t.Fatalf("recovered /stats = {last_refresh_error:%q stale:%v}, want clean", st.LastRefreshError, st.Stale)
+	}
+}
+
+// TestRequestTimeoutEnvelope: a request stuck past RequestTimeout is cut
+// off with the standard 503 "timeout" envelope and Retry-After, which is
+// exactly what apiclient classifies as a retryable server push-back.
+func TestRequestTimeoutEnvelope(t *testing.T) {
+	lk, fsys := seedFaultLake(t)
+	t.Cleanup(fsys.UnblockReads) // registered after lk.Close: unblocks first
+	hs := newResilientServer(t, &lakeserve.Server{
+		Lake: lk, RequestTimeout: 50 * time.Millisecond, MaxConcurrent: -1,
+	})
+
+	fsys.BlockReads()
+	code, hdr, body := getFull(t, hs.URL+"/api/v1/torrents/0/observations")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stuck request = %d, want 503: %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("timeout response is missing Retry-After")
+	}
+	checkErrEnvelope(t, body, "timeout")
+
+	c := apiclient.New(hs.URL)
+	c.Retries = -1
+	_, err := c.Observations(t.Context(), 0, 10)
+	var se *apiclient.Error
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable || se.Code != "timeout" {
+		t.Fatalf("client decoded %v, want *Error{503 timeout}", err)
+	}
+	if se.RetryAfter <= 0 {
+		t.Fatalf("client RetryAfter = %v, want > 0", se.RetryAfter)
+	}
+}

@@ -31,7 +31,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -61,11 +60,30 @@ type Server struct {
 	// but as OtherWeb.
 	Inspector classify.SiteInspector
 
+	// MaxConcurrent bounds the API requests allowed in flight at once;
+	// excess requests are answered 429 with Retry-After instead of
+	// queuing (0 = DefaultMaxConcurrent, negative = unlimited).
+	MaxConcurrent int
+	// RequestTimeout bounds one request's wall time; expiry answers 503
+	// with the "timeout" envelope (0 = DefaultRequestTimeout, negative =
+	// none). /healthz and /readyz are exempt from both bounds.
+	RequestTimeout time.Duration
+	// RefreshBackoff is the base delay before retrying a failed snapshot
+	// rebuild; it doubles per consecutive failure up to 64× (0 =
+	// DefaultRefreshBackoff).
+	RefreshBackoff time.Duration
+
 	insp       atomic.Pointer[classify.SiteInspector]
 	inspGen    atomic.Uint64
 	mu         sync.Mutex // single-flight synchronous first build
 	snap       atomic.Pointer[snapshot]
 	refreshing atomic.Bool
+	refresh    refreshState
+
+	// The lifecycle context backs background rebuilds; Close cancels it.
+	lifeOnce sync.Once
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
 
 	// The lake-backed query executor behind /api/v1/query and the canned
 	// observation endpoint, built once on first use.
@@ -158,6 +176,32 @@ func (s *Server) stale(cur *snapshot) bool {
 	return cur.version != s.Lake.Version() || cur.inspGen != s.inspGen.Load()
 }
 
+// markSnapshot stamps snapshot provenance on a response so clients can
+// tell fresh answers from degraded ones: the snapshot's lake version
+// always, a staleness flag when it lags the live lake, and a degraded
+// marker when the lag is caused by failing rebuilds rather than normal
+// refresh latency.
+func (s *Server) markSnapshot(w http.ResponseWriter, snap *snapshot) {
+	w.Header().Set("X-Btpub-Snapshot-Version", strconv.FormatUint(snap.version, 10))
+	if s.stale(snap) {
+		w.Header().Set("X-Btpub-Snapshot-Stale", "true")
+		if s.refresh.lastError() != "" {
+			w.Header().Set("X-Btpub-Degraded", "rebuild-failed")
+		}
+	}
+}
+
+// snapshotFor is the handler-side accessor: the cached snapshot plus
+// its provenance headers on w.
+func (s *Server) snapshotFor(w http.ResponseWriter, r *http.Request) (*snapshot, error) {
+	snap, err := s.classified(r)
+	if err != nil {
+		return nil, err
+	}
+	s.markSnapshot(w, snap)
+	return snap, nil
+}
+
 func (s *Server) build(ctx context.Context) (*snapshot, error) {
 	// The pre-scan reads are only conservative floors: commits (or an
 	// inspector swap) can land between them and the scan, so the snapshot
@@ -192,24 +236,6 @@ func (s *Server) build(ctx context.Context) (*snapshot, error) {
 	}, nil
 }
 
-func (s *Server) refreshAsync() {
-	if !s.refreshing.CompareAndSwap(false, true) {
-		return
-	}
-	go func() {
-		defer s.refreshing.Store(false)
-		snap, err := s.build(context.Background())
-		if err != nil {
-			// Keep serving the stale snapshot; the next request retries.
-			// Swallowing the error silently hid real rebuild failures.
-			log.Printf("lakeserve: snapshot rebuild failed (serving stale v%d): %v",
-				s.version(), err)
-			return
-		}
-		s.snap.Store(snap)
-	}()
-}
-
 // version reports the cached snapshot's version (0 = none yet).
 func (s *Server) version() uint64 {
 	if cur := s.snap.Load(); cur != nil {
@@ -226,13 +252,32 @@ type StatsResponse struct {
 	// is pending or in flight.
 	AnalysisVersion uint64    `json:"analysis_version"`
 	AnalysisBuilt   time.Time `json:"analysis_built,omitempty"`
+	// RefreshState reports the background rebuild machinery: "idle",
+	// "rebuilding" (one in flight), or "backoff" (the last rebuild
+	// failed and the breaker is waiting before the next attempt).
+	RefreshState string `json:"refresh_state"`
+	// LastRefreshError is the most recent rebuild failure, cleared by
+	// the next successful rebuild. Non-empty means stale answers are
+	// being served because of it, not by normal refresh lag.
+	LastRefreshError string `json:"last_refresh_error,omitempty"`
+	// Stale reports that the cached analysis (if any) lags the lake or
+	// the inspector — snapshot-backed answers carry the
+	// X-Btpub-Snapshot-Stale header while this is true.
+	Stale bool `json:"stale"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{Lake: s.Lake.Stats()}
+	resp := StatsResponse{Lake: s.Lake.Stats(), RefreshState: "idle", Stale: true}
+	if s.refreshing.Load() {
+		resp.RefreshState = "rebuilding"
+	} else if s.refresh.open() {
+		resp.RefreshState = "backoff"
+	}
+	resp.LastRefreshError = s.refresh.lastError()
 	if cur := s.snap.Load(); cur != nil {
 		resp.AnalysisVersion = cur.version
 		resp.AnalysisBuilt = cur.builtAt
+		resp.Stale = s.stale(cur)
 	}
 	writeJSON(w, resp)
 }
@@ -243,12 +288,12 @@ func (s *Server) handleTable1(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	an, _, err := s.Snapshot(r)
+	snap, err := s.snapshotFor(w, r)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	sum := an.Summary()
+	sum := snap.an.Summary()
 	if format == "json" {
 		writeJSON(w, sum)
 		return
@@ -268,17 +313,17 @@ func (s *Server) handleTable2(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	an, _, err := s.Snapshot(r)
+	snap, err := s.snapshotFor(w, r)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	rows := an.ISPTable(n)
+	rows := snap.an.ISPTable(n)
 	if format == "json" {
 		writeJSON(w, rows)
 		return
 	}
-	writeText(w, analysis.RenderISPTable(an.DS.Name, rows))
+	writeText(w, analysis.RenderISPTable(snap.an.DS.Name, rows))
 }
 
 func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
@@ -296,17 +341,17 @@ func (s *Server) handleTable3(w http.ResponseWriter, r *http.Request) {
 	if names == nil {
 		names = []string{geoip.OVH, geoip.Comcast}
 	}
-	an, _, err := s.Snapshot(r)
+	snap, err := s.snapshotFor(w, r)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	rows := an.ContrastISPs(names...)
+	rows := snap.an.ContrastISPs(names...)
 	if format == "json" {
 		writeJSON(w, rows)
 		return
 	}
-	writeText(w, analysis.RenderContrast(an.DS.Name, rows))
+	writeText(w, analysis.RenderContrast(snap.an.DS.Name, rows))
 }
 
 // TopPublisher is one /top-publishers row.
@@ -325,13 +370,13 @@ func (s *Server) handleTopPublishers(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	an, _, err := s.Snapshot(r)
+	snap, err := s.snapshotFor(w, r)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	rows := make([]TopPublisher, 0, len(an.Facts.Users))
-	for _, u := range an.Facts.Users {
+	rows := make([]TopPublisher, 0, len(snap.an.Facts.Users))
+	for _, u := range snap.an.Facts.Users {
 		rows = append(rows, TopPublisher{
 			Username: u.Username, Torrents: len(u.TorrentIDs),
 			Downloads: u.Downloads, Fake: u.Fake(),
@@ -374,7 +419,7 @@ func (s *Server) handleClassified(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	snap, err := s.classified(r)
+	snap, err := s.snapshotFor(w, r)
 	if err != nil {
 		fail(w, err)
 		return
@@ -435,7 +480,7 @@ func (s *Server) handleFakes(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	snap, err := s.classified(r)
+	snap, err := s.snapshotFor(w, r)
 	if err != nil {
 		fail(w, err)
 		return

@@ -1,0 +1,231 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"runtime"
+	"syscall"
+	"testing"
+)
+
+// write creates name with data and optionally syncs it.
+func write(t *testing.T, f *FS, name string, data []byte, sync bool) {
+	t.Helper()
+	h, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	if _, err := h.Write(data); err != nil {
+		t.Fatalf("Write(%s): %v", name, err)
+	}
+	if sync {
+		if err := h.Sync(); err != nil {
+			t.Fatalf("Sync(%s): %v", name, err)
+		}
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", name, err)
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	f := New(1)
+	write(t, f, "a", []byte("hello"), true)
+	got, err := f.ReadFile("a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if n, err := f.Size("a"); err != nil || n != 5 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := f.Rename("a", "b"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	names, err := f.ReadDir()
+	if err != nil || len(names) != 1 || names[0] != "b" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := f.Remove("b"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := f.ReadFile("b"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadFile after Remove: %v, want ErrNotExist", err)
+	}
+}
+
+// The lake distinguishes "fresh lake" from "I/O trouble" with
+// os.IsNotExist, so faultfs errors must satisfy it.
+func TestNotExistCompat(t *testing.T) {
+	f := New(1)
+	if _, err := f.ReadFile("nope"); !os.IsNotExist(err) {
+		t.Fatalf("ReadFile: os.IsNotExist = false for %v", err)
+	}
+	if _, err := f.Size("nope"); !os.IsNotExist(err) {
+		t.Fatalf("Size: os.IsNotExist = false for %v", err)
+	}
+}
+
+func TestFailAt(t *testing.T) {
+	f := New(1)
+	write(t, f, "a", []byte("x"), true) // ops 1..3 (create, write, sync)
+	f.FailAt(f.Ops()+1, ErrNoSpace)
+	if _, err := f.ReadFile("a"); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("injected op error = %v, want ENOSPC", err)
+	}
+	// One-shot: the next op succeeds.
+	if _, err := f.ReadFile("a"); err != nil {
+		t.Fatalf("op after injection: %v", err)
+	}
+}
+
+func TestCrashDropsUnsyncedBytes(t *testing.T) {
+	f := New(1)
+	write(t, f, "synced", []byte("durable"), true)
+	h, err := f.Create("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("part1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("part2-unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close after crash should be tolerated: %v", err)
+	}
+	if _, err := f.ReadFile("synced"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after crash = %v, want ErrCrashed", err)
+	}
+
+	rec := f.Recover()
+	got, err := rec.ReadFile("synced")
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("synced file after recovery = %q, %v", got, err)
+	}
+	got, err = rec.ReadFile("torn")
+	if err != nil || string(got) != "part1" {
+		t.Fatalf("partially synced file after recovery = %q, %v (want only the synced prefix)", got, err)
+	}
+}
+
+func TestTornCrashKeepsPrefixOfUnsyncedTail(t *testing.T) {
+	full := []byte("0123456789abcdef")
+	f := New(42)
+	f.CrashAt(1<<30, true) // arm torn mode; crash manually below
+	h, _ := f.Create("f")
+	h.Write(full[:4])
+	h.Sync()
+	h.Write(full[4:])
+	f.Crash()
+	rec := f.Recover()
+	got, err := rec.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 4 || len(got) > len(full) || !bytes.HasPrefix(full, got) {
+		t.Fatalf("torn survivor %q is not a prefix of %q covering the synced part", got, full)
+	}
+}
+
+func TestCrashAtOpIsDeterministic(t *testing.T) {
+	run := func() ([]string, map[string]string) {
+		f := New(7)
+		f.CrashAt(6, false)
+		write(t, f, "a", []byte("aa"), true)             // ops 1,2,3
+		h, _ := f.Create("b")                            // op 4
+		if _, err := h.Write([]byte("bb")); err != nil { // op 5
+			t.Fatalf("write b: %v", err)
+		}
+		if err := h.Sync(); !errors.Is(err, ErrCrashed) { // op 6 → crash
+			t.Fatalf("op 6 = %v, want ErrCrashed", err)
+		}
+		rec := f.Recover()
+		names, _ := rec.ReadDir()
+		data := make(map[string]string)
+		for _, n := range names {
+			b, _ := rec.ReadFile(n)
+			data[n] = string(b)
+		}
+		return names, data
+	}
+	n1, d1 := run()
+	n2, d2 := run()
+	if len(n1) != len(n2) {
+		t.Fatalf("runs diverged: %v vs %v", n1, n2)
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] || d1[n1[i]] != d2[n2[i]] {
+			t.Fatalf("runs diverged at %s: %q vs %q", n1[i], d1[n1[i]], d2[n2[i]])
+		}
+	}
+	if d1["a"] != "aa" {
+		t.Fatalf("synced file a = %q after crash at op 6", d1["a"])
+	}
+	if d1["b"] != "" {
+		t.Fatalf("unsynced file b = %q, want empty", d1["b"])
+	}
+}
+
+func TestRenameIsAtomicAcrossCrash(t *testing.T) {
+	f := New(3)
+	write(t, f, "target", []byte("old"), true)
+	write(t, f, "tmp", []byte("new"), true)
+	if err := f.Rename("tmp", "target"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	rec := f.Recover()
+	got, err := rec.ReadFile("target")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("renamed file after crash = %q, %v (rename must be durable)", got, err)
+	}
+	if _, err := rec.ReadFile("tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old name survived the rename: %v", err)
+	}
+}
+
+func TestSetReadError(t *testing.T) {
+	f := New(1)
+	write(t, f, "a", []byte("x"), true)
+	f.SetReadError(ErrIO)
+	if _, err := f.ReadFile("a"); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("read under fault = %v, want EIO", err)
+	}
+	f.SetReadError(nil)
+	if _, err := f.ReadFile("a"); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestBlockReads(t *testing.T) {
+	f := New(1)
+	write(t, f, "a", []byte("x"), true)
+	f.BlockReads()
+	done := make(chan string, 1)
+	go func() {
+		b, _ := f.ReadFile("a")
+		done <- string(b)
+	}()
+	for f.BlockedReads() != 1 {
+		runtime.Gosched()
+	}
+	select {
+	case <-done:
+		t.Fatal("read completed while blocked")
+	default:
+	}
+	f.UnblockReads()
+	if got := <-done; got != "x" {
+		t.Fatalf("read after unblock = %q", got)
+	}
+	if f.BlockedReads() != 0 {
+		t.Fatalf("BlockedReads = %d after drain", f.BlockedReads())
+	}
+}

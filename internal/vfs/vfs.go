@@ -1,0 +1,104 @@
+// Package vfs is the filesystem seam under the observation lake. The
+// lake performs a small, fixed vocabulary of operations — create a file,
+// write, fsync, read a whole file back, rename, remove, list the
+// directory — all against flat names inside one root directory. FS
+// captures exactly that vocabulary, nothing more, so the production
+// implementation (OS) stays a thin veneer over package os while test
+// implementations (vfs/faultfs) can fail, tear or "crash" any single
+// operation deterministically.
+//
+// Implementations must report a missing file from ReadFile and Size with
+// an error satisfying errors.Is(err, fs.ErrNotExist): lake recovery
+// branches on that, via os.IsNotExist, to tell "fresh lake" from "I/O
+// trouble".
+package vfs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// File is an open, writable file. The lake's write protocol is always
+// create → write → sync → close; there is no seek and no read-back
+// through the handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync flushes written data to stable storage. Data not synced when
+	// the process (or a simulated disk) crashes may be lost.
+	Sync() error
+	Close() error
+}
+
+// FS is one directory's worth of filesystem. All names are flat — the
+// lake never nests — and relative to the implementation's root.
+type FS interface {
+	// MkdirAll ensures the root directory exists.
+	MkdirAll() error
+	// Create opens name for writing, truncating any previous contents.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Size returns name's current length in bytes.
+	Size(name string) (int64, error)
+	// ReadDir lists the names in the root, sorted.
+	ReadDir() ([]string, error)
+	// Rename atomically replaces newName with oldName.
+	Rename(oldName, newName string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir best-effort fsyncs the root directory, making preceding
+	// renames durable. Implementations may treat it as a no-op.
+	SyncDir() error
+}
+
+// OS returns the production FS: package os operations rooted at dir.
+func OS(dir string) FS { return osFS{dir: dir} }
+
+type osFS struct{ dir string }
+
+func (o osFS) MkdirAll() error { return os.MkdirAll(o.dir, 0o755) }
+
+func (o osFS) Create(name string) (File, error) {
+	return os.Create(filepath.Join(o.dir, name))
+}
+
+func (o osFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(o.dir, name))
+}
+
+func (o osFS) Size(name string) (int64, error) {
+	st, err := os.Stat(filepath.Join(o.dir, name))
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (o osFS) ReadDir() ([]string, error) {
+	entries, err := os.ReadDir(o.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (o osFS) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(o.dir, oldName), filepath.Join(o.dir, newName))
+}
+
+func (o osFS) Remove(name string) error {
+	return os.Remove(filepath.Join(o.dir, name))
+}
+
+func (o osFS) SyncDir() error {
+	d, err := os.Open(o.dir)
+	if err != nil {
+		return nil // best-effort, matching the lake's historical behavior
+	}
+	_ = d.Sync()
+	return d.Close()
+}
