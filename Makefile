@@ -11,7 +11,7 @@ SHELL := /bin/bash
 # and observation-lake benchmarks.
 ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable2ISP|BenchmarkTable3OVHComcast|BenchmarkSection33CrossAnalysis|BenchmarkFigure2ContentTypes|BenchmarkFigure3Popularity|BenchmarkFigure4aSeedingTime|BenchmarkFigure4bParallel|BenchmarkFigure4cSession|BenchmarkSection51Business|BenchmarkTable4Longitudinal|BenchmarkTable5Income|BenchmarkSection6OVH|BenchmarkAppendixAEstimator
 CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel|BenchmarkCampaignAdversarial
-LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan
+LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan|BenchmarkLakeScanCompressed
 QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory|BenchmarkQueryPointLookup
 
 BENCH_DATE := $(shell date +%Y-%m-%d)

@@ -35,6 +35,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "disk-bytes").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the serialized document.
@@ -126,6 +128,14 @@ func parseBench(f *os.File) ([]Result, error) {
 				r.BytesPerOp = int64(v)
 			case "allocs/op":
 				r.AllocsPerOp = int64(v)
+			case "MB/s":
+				// throughput from b.SetBytes; derivable, not recorded
+			default:
+				// custom b.ReportMetric unit
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = v
 			}
 		}
 		if ok {

@@ -57,6 +57,7 @@ func run() error {
 	isps := flag.String("isps", "", "comma-separated peer ISPs")
 	countries := flag.String("countries", "", "comma-separated peer countries")
 	seeders := flag.Bool("seeders", false, "seeder sightings only")
+	asOf := flag.Uint64("as-of", 0, "pin the query to this committed lake version (0 = head); replays reproducibly while ingest continues")
 	group := flag.String("group", "", "group by: publisher|isp|country|torrent|content-type|time-bucket")
 	bucket := flag.Duration("bucket", 0, "time-bucket width (with -group time-bucket), e.g. 6h")
 	aggs := flag.String("aggs", "", "comma-separated aggregates: observations,distinct-ips,seeders,torrents,max-swarm")
@@ -82,6 +83,7 @@ func run() error {
 			ISPs:        csv(*isps),
 			Countries:   csv(*countries),
 			SeedersOnly: *seeders,
+			AsOf:        *asOf,
 		},
 		GroupBy: query.GroupBy{Key: *group, Bucket: query.Duration(*bucket)},
 		Aggs:    csv(*aggs),

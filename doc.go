@@ -81,11 +81,29 @@
 // via its Config.Sink hook, JSONL imports) seal observations into
 // immutable columnar segment files — the ObsStore columns plus a
 // segment-local intern table, per-segment zone maps (min/max time,
-// min/max torrent ID, 64-bit IP bloom) and a CRC-32C footer — under a
-// versioned manifest committed by atomic rename, so a crash at any
-// instant leaves the previous committed state (Open discards torn tmp
-// manifests, deletes orphans, and size-checks referenced segments;
-// Verify runs a full CRC pass). Each flush also seals a per-segment
+// min/max torrent ID, 64-bit IP bloom) and a CRC-32C footer — recorded
+// in an append-only commit journal (lake format v2). The journal is
+// the source of truth and the commit history at once: one fsynced,
+// CRC-32C-framed record per committed version, versions strictly
+// monotone, each record hash-chained over its parent, with periodic
+// self-contained checkpoint records (Options.CheckpointEvery, default
+// 64) bounding replay. A crash at any instant leaves the previous
+// committed state: Open replays the journal to head, repairs a torn
+// tail (complete-frame corruption is refused), deletes orphans, and
+// size-checks referenced segments; Verify runs a full CRC pass plus a
+// journal-replay cross-check. Format-v1 lakes (single MANIFEST)
+// migrate on first open — the manifest becomes the first checkpoint at
+// the same version, Materialize byte-identical across the migration.
+// Because the history is on disk, any committed version can be served
+// again: Lake.OpenAt pins a read-only view and query Filter.AsOf pins
+// a single scan (btpub-query -as-of, "as_of" on POST /api/v1/query),
+// replaying a query reproducibly while ingest continues; unavailable
+// versions fail with a typed VersionUnavailableError, never a wrong
+// answer. v2 segments also compress their columns stdlib-only —
+// GCD-scaled delta-varint timestamps and torrent IDs, dictionary IPs,
+// raw seeder words — to ~6.5 bytes/observation (v1 was ~17 fixed
+// width); v1 segments stay readable and compaction rewrites them.
+// Each flush also seals a per-segment
 // microindex (idx-NNNNNN.ipx): sorted, CRC-protected postings of the
 // segment's distinct IP strings and torrent IDs. The segment bloom is
 // 64 bits and saturates past a few dozen distinct addresses, so for
@@ -119,7 +137,7 @@
 //
 // internal/query is the one composable query engine behind every API
 // surface: query.Query{Filter{MinTime, MaxTime, TorrentIDs, Publishers,
-// ISPs, Countries, SeedersOnly}, GroupBy{publisher|isp|country|torrent|
+// ISPs, Countries, SeedersOnly, AsOf}, GroupBy{publisher|isp|country|torrent|
 // content-type|time-bucket}, Aggs{observations, distinct-ips, seeders,
 // torrents, max-swarm}, OrderBy, Limit, Cursor}, with two executors
 // required (and tested, over an adversarial-scenario campaign) to
@@ -173,10 +191,13 @@
 // tail), metadata journals immediately, Recover() hands back the
 // surviving disk — and SetReadError/BlockReads flip reads to failing
 // or parked mid-serve. TestKillPointTorture records the full op
-// sequence of a flush->query->compact->reindex workload and replays it
-// with a crash at every op index (clean and torn), asserting the
-// survivor reopens without Salvage, passes Verify, and holds exactly a
-// committed prefix of the appends; TestInjectedIOErrors sweeps
+// sequence of a migrate->flush->query->compact->reindex workload
+// (starting from a v1 volume so the journal migration runs under fire,
+// with checkpoints forced inside the window) and replays it with a
+// crash at every op index (clean and torn), asserting the survivor
+// reopens without Salvage, passes Verify, holds exactly a committed
+// prefix of the appends, and recovers to a journal version the
+// workload actually committed; TestInjectedIOErrors sweeps
 // EIO/ENOSPC through the same sequence. CI samples 64 kill points
 // under -race on every push; `make test-faults` and nightly CI
 // enumerate all of them (BTPUB_FAULT_KILLPOINTS=all).

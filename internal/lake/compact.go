@@ -3,8 +3,10 @@
 // merged into one builder and sorted by dataset.ObsStore.SortCanonical —
 // the same (At, TorrentID, IP, Seeder) order dataset.Merge establishes —
 // so a compacted lake materializes identically to an uncompacted one.
-// Old files are retired from the manifest first and physically deleted
-// only when no scan holds them open.
+// Each fold commits one journal record retiring the victims and adding
+// the output; the old files are physically deleted only when no scan
+// holds them open (and never under Options.Retain, which keeps
+// pre-compaction versions scannable).
 package lake
 
 import (
@@ -112,14 +114,16 @@ func (lk *Lake) compact() error {
 	lk.scanMu.RUnlock()
 	st.SortCanonical()
 
-	// Write the compacted segment, then splice the manifest under mu.
+	// Write the compacted segment, then commit the fold as one journal
+	// record retiring the victims and adding the output, all under mu.
 	lk.mu.Lock()
 	defer lk.mu.Unlock()
 	if lk.closed {
 		return errClosed
 	}
-	seq := lk.man.NextSeq
-	lk.man.NextSeq++
+	next := lk.man.clone()
+	seq := next.NextSeq
+	next.NextSeq++
 	name := fmt.Sprintf("seg-%06d.obs", seq)
 	buf := encodeSegment(st, merged.zone)
 	if err := lk.writeFileSync(name, buf); err != nil {
@@ -134,27 +138,36 @@ func (lk *Lake) compact() error {
 		return err
 	}
 	gone := make(map[string]bool, 2*len(victims))
+	pay := &commitPayload{}
 	for _, v := range victims {
 		gone[v.File] = true
 		if v.Index != "" {
 			gone[v.Index] = true
 		}
+		pay.RetireSegments = append(pay.RetireSegments, v.File)
 	}
-	keep := lk.man.Segments[:0:0]
-	for _, s := range lk.man.Segments {
+	keep := next.Segments[:0:0]
+	for _, s := range next.Segments {
 		if !gone[s.File] {
 			keep = append(keep, s)
 		}
 	}
-	keep = append(keep, segMeta{
+	out := segMeta{
 		File: name, Bytes: int64(len(buf)),
 		Index: idxName, IndexBytes: int64(len(idxBuf)),
 		zone: merged.zone,
-	})
-	lk.man.Segments = keep
-	lk.man.Version++
-	if err := commitManifest(lk.fs, lk.man); err != nil {
+	}
+	next.Segments = append(keep, out)
+	pay.AddSegments = append(pay.AddSegments, out)
+	next.Version++
+	if err := lk.commitLocked(next, pay, false); err != nil {
 		return err
+	}
+	lk.maybeCheckpointLocked()
+	// With Retain set the victim files stay on disk, so versions that
+	// predate the fold remain scannable through OpenAt / as_of.
+	if lk.opt.Retain {
+		return nil
 	}
 	// Retire in victim order (not map order) so file deletion — and with
 	// it the lake's whole fs-operation sequence — is deterministic, which

@@ -1,0 +1,57 @@
+package lake
+
+import (
+	"fmt"
+
+	"btpub/internal/dataset"
+	"btpub/internal/vfs"
+)
+
+// SeedV1ForTest writes a genuine minimal format-v1 lake image onto fsys:
+// one v1 fixed-width segment holding obs (no microindex, as pre-journal
+// builds wrote) and a format-v1 MANIFEST as the source of truth, no
+// journal. The external fault-injection tests use it to drive the v1→v2
+// migration through kill-points and injected I/O errors.
+func SeedV1ForTest(fsys vfs.FS, obs []dataset.Observation) error {
+	if err := fsys.MkdirAll(); err != nil {
+		return err
+	}
+	var st dataset.ObsStore
+	z := emptyZone()
+	var nextTID int32
+	for _, o := range obs {
+		st.Append(o)
+		z.add(int32(o.TorrentID), o.At.UnixNano(), o.IP)
+		if int32(o.TorrentID) >= nextTID {
+			nextTID = int32(o.TorrentID) + 1
+		}
+	}
+	buf := encodeSegmentV1(&st, z)
+	name := fmt.Sprintf("seg-%06d.obs", 1)
+	f, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	man := &manifest{
+		Format:  formatV1,
+		Version: 1,
+		NextSeq: 2,
+		NextTID: nextTID,
+		Rows:    int64(len(obs)),
+		Segments: []segMeta{
+			{File: name, Bytes: int64(len(buf)), zone: z},
+		},
+	}
+	return commitManifest(fsys, man)
+}

@@ -1,11 +1,15 @@
 // Kill-point torture: the lake's crash-consistency claim, enumerated
-// instead of anecdotal. One deterministic flush→query→compact→reindex
-// workload runs against faultfs to record its full filesystem operation
-// sequence; then, for each operation index k, the workload is replayed
-// against a fresh identically-seeded faultfs with a crash injected at k.
-// After every crash the surviving volume must reopen without Salvage,
-// pass Verify, and hold exactly a committed prefix of the appended
-// observations — never a torn or reordered middle state.
+// instead of anecdotal. One deterministic migrate→flush→query→compact→
+// reindex workload runs against faultfs to record its full filesystem
+// operation sequence; then, for each operation index k, the workload is
+// replayed against a fresh identically-seeded faultfs with a crash
+// injected at k. The volume starts as a genuine format-v1 lake, so the
+// first Open performs the v1→v2 journal migration under fire; a small
+// CheckpointEvery makes the later commits cross checkpoint boundaries
+// too. After every crash the surviving volume must reopen without
+// Salvage, pass Verify, and hold exactly a committed prefix of the
+// appended observations — never a torn or reordered middle state, and
+// never fewer rows than a version the journal acknowledged.
 //
 // The full enumeration (every k, clean and torn-write crashes) runs when
 // BTPUB_FAULT_KILLPOINTS=all (nightly, `make test-faults`); the default
@@ -32,6 +36,7 @@ import (
 const (
 	faultSeed     = 0xb7_90b // any fixed seed; torn-tail lengths derive from it
 	faultTorrents = 6
+	faultSeedRows = 48 // rows pre-seeded as a format-v1 lake before Open
 	faultWave1    = 300
 	faultWave2    = 150
 	faultFlushAt  = 96
@@ -57,9 +62,20 @@ func faultObs(i int) dataset.Observation {
 // non-nil, is called after every step that can commit a manifest; it
 // must not perform fs operations (op numbering is replayed exactly).
 func faultWorkload(fsys vfs.FS, record func(*lake.Lake)) error {
+	// The volume starts as a format-v1 lake already holding the first
+	// faultSeedRows appends; Open migrates it to the journal.
+	seed := make([]dataset.Observation, faultSeedRows)
+	for i := range seed {
+		seed[i] = faultObs(i)
+	}
+	if err := lake.SeedV1ForTest(fsys, seed); err != nil {
+		return err
+	}
 	lk, err := lake.Open("sim", lake.Options{
 		FS:        fsys,
 		FlushRows: faultFlushAt,
+		// Checkpoint aggressively so the workload crosses checkpoints.
+		CheckpointEvery: 2,
 		// No Auto compaction: background work would race the op counter.
 		Compact: lake.CompactOptions{MinSegments: 1 << 30},
 	})
@@ -71,6 +87,7 @@ func faultWorkload(fsys vfs.FS, record func(*lake.Lake)) error {
 			record(lk)
 		}
 	}
+	note() // the migrated seed rows are a committed state
 
 	recs := make([]*dataset.TorrentRecord, faultTorrents)
 	for i := range recs {
@@ -83,7 +100,7 @@ func faultWorkload(fsys vfs.FS, record func(*lake.Lake)) error {
 	if err := lk.AddTorrents(recs); err != nil {
 		return err
 	}
-	for i := 0; i < faultWave1; i++ {
+	for i := faultSeedRows; i < faultWave1; i++ {
 		if err := lk.Append(faultObs(i)); err != nil {
 			return err
 		}
@@ -171,7 +188,7 @@ func killPoints(t *testing.T, total int) []int {
 // prefix: Open succeeds without Salvage, Verify is clean, the count is
 // one the workload actually committed, and the rows are exactly the
 // first M appends.
-func checkRecovered(t *testing.T, desc string, fsys vfs.FS, committed map[int64]bool) {
+func checkRecovered(t *testing.T, desc string, fsys vfs.FS, committed map[int64]bool, versions map[uint64]bool) {
 	t.Helper()
 	lk, err := lake.Open("sim", lake.Options{FS: fsys})
 	if err != nil {
@@ -184,6 +201,9 @@ func checkRecovered(t *testing.T, desc string, fsys vfs.FS, committed map[int64]
 	st := lk.Stats()
 	if !committed[st.Observations] {
 		t.Fatalf("%s: recovered %d observations, not a committed count (%v)", desc, st.Observations, sortedKeys(committed))
+	}
+	if !versions[lk.Version()] {
+		t.Fatalf("%s: recovered journal version %d, which the workload never committed", desc, lk.Version())
 	}
 	type row struct {
 		atNs   int64
@@ -233,28 +253,30 @@ func sortedKeys(m map[int64]bool) []int64 {
 // recordRun replays the workload fault-free, returning the op total and
 // the set of observation counts that were ever committed. Run twice to
 // prove the op sequence is replayable.
-func recordRun(t *testing.T) (int, map[int64]bool) {
+func recordRun(t *testing.T) (int, map[int64]bool, map[uint64]bool) {
 	t.Helper()
-	run := func() (int, map[int64]bool) {
+	run := func() (int, map[int64]bool, map[uint64]bool) {
 		fsys := faultfs.New(faultSeed)
 		committed := map[int64]bool{0: true}
+		versions := map[uint64]bool{0: true} // crash before the seed commits
 		if err := faultWorkload(fsys, func(lk *lake.Lake) {
 			committed[lk.Stats().Observations] = true
+			versions[lk.Version()] = true
 		}); err != nil {
 			t.Fatalf("fault-free workload failed: %v", err)
 		}
-		return fsys.Ops(), committed
+		return fsys.Ops(), committed, versions
 	}
-	ops1, committed := run()
-	ops2, _ := run()
+	ops1, committed, versions := run()
+	ops2, _, _ := run()
 	if ops1 != ops2 {
 		t.Fatalf("workload is not deterministic: %d ops vs %d ops", ops1, ops2)
 	}
-	return ops1, committed
+	return ops1, committed, versions
 }
 
 func TestKillPointTorture(t *testing.T) {
-	total, committed := recordRun(t)
+	total, committed, versions := recordRun(t)
 	points := killPoints(t, total)
 	t.Logf("workload = %d fs ops, crashing at %d of them", total, len(points))
 	for _, torn := range []bool{false, true} {
@@ -271,7 +293,7 @@ func TestKillPointTorture(t *testing.T) {
 					t.Fatalf("kill point %d: workload finished without crashing (err=%v)", k, err)
 				}
 				desc := fmt.Sprintf("kill point %d/%d (torn=%v)", k, total, torn)
-				checkRecovered(t, desc, fsys.Recover(), committed)
+				checkRecovered(t, desc, fsys.Recover(), committed, versions)
 			}
 		})
 	}
@@ -281,7 +303,7 @@ func TestKillPointTorture(t *testing.T) {
 // workload must either ride through (ignorable op) or abort cleanly, and
 // in both cases the volume must stay consistent for the next open.
 func TestInjectedIOErrors(t *testing.T) {
-	total, committed := recordRun(t)
+	total, committed, versions := recordRun(t)
 	points := killPoints(t, total)
 	for _, inj := range []error{faultfs.ErrIO, faultfs.ErrNoSpace} {
 		t.Run(fmt.Sprintf("%v", errors.Unwrap(inj)), func(t *testing.T) {
@@ -289,7 +311,7 @@ func TestInjectedIOErrors(t *testing.T) {
 				fsys := faultfs.New(faultSeed)
 				fsys.FailAt(k, inj)
 				_ = faultWorkload(fsys, nil) // abort or survive; both legal
-				checkRecovered(t, fmt.Sprintf("injected %v at op %d", inj, k), fsys, committed)
+				checkRecovered(t, fmt.Sprintf("injected %v at op %d", inj, k), fsys, committed, versions)
 			}
 		})
 	}

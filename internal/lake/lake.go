@@ -2,28 +2,40 @@
 // on-disk successor to holding a whole dataset.Dataset in memory. Writers
 // (campaign runs, live crawlers, JSONL imports) append observations into
 // an open columnar builder that is sealed into immutable segment files
-// (zone maps + CRC footers, see segment.go) under a versioned manifest
-// with atomic commit (see manifest.go); torrent and user records ride in
-// JSONL meta files reusing the dataset codec. Readers scan committed
-// segments in parallel with predicate pushdown (see scan.go) while a
-// compactor folds small segments together in canonical Merge order (see
-// compact.go). One process owns a lake directory at a time; within that
-// process every method is safe for concurrent use.
+// (zone maps + delta/dictionary-compressed columns + CRC footers, see
+// segment.go); torrent and user records ride in JSONL meta files reusing
+// the dataset codec. The source of truth is an append-only commit
+// journal (format v2, see internal/lake/journal and commits.go): every
+// flush, import, compaction or salvage appends one fsynced, CRC- and
+// chain-protected record, Open replays the journal to head (periodic
+// checkpoint records bound replay cost), and any committed version
+// remains addressable — Lake.OpenAt and Predicate.AsOf pin scans to
+// historical states while ingest continues. Lakes written under format
+// v1 (single-version MANIFEST) migrate to the journal on first open with
+// byte-identical Materialize results. Readers scan committed segments in
+// parallel with predicate pushdown (see scan.go) while a compactor folds
+// small segments together in canonical Merge order (see compact.go),
+// committing each fold as a retire+add record. One process owns a lake
+// directory at a time; within that process every method is safe for
+// concurrent use.
 package lake
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
 	"net/netip"
 	"os"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"btpub/internal/dataset"
+	"btpub/internal/lake/journal"
 	"btpub/internal/vfs"
 )
 
@@ -44,6 +56,16 @@ type Options struct {
 	// Data in the dropped segments is lost; everything else stays
 	// readable.
 	Salvage bool
+	// CheckpointEvery bounds journal replay cost: after this many delta
+	// commits since the last checkpoint, the next commit is followed by
+	// a checkpoint record snapshotting the full state (default 64).
+	CheckpointEvery int
+	// Retain keeps files retired by compaction on disk instead of
+	// vacuuming them, so OpenAt / as_of scans of pre-compaction versions
+	// keep working. Off by default: history remains queryable back to
+	// the last compaction, and older pins fail with
+	// *VersionUnavailableError.
+	Retain bool
 	// FS overrides the filesystem the lake does all its I/O through.
 	// Nil means the real OS filesystem rooted at the lake directory;
 	// tests substitute vfs/faultfs to inject I/O errors, torn writes and
@@ -54,6 +76,9 @@ type Options struct {
 func (o *Options) setDefaults() {
 	if o.FlushRows <= 0 {
 		o.FlushRows = 1 << 17
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
 	}
 	o.Compact.setDefaults()
 }
@@ -70,10 +95,14 @@ type Lake struct {
 	fs  vfs.FS
 	opt Options
 
-	// mu guards the manifest, the open builder, the pending meta records
-	// and commit sequencing.
+	// mu guards the live state, the journal, the open builder, the
+	// pending meta records and commit sequencing.
 	mu      sync.Mutex
 	man     *manifest
+	jr      *journal.Journal
+	hist    []histRec // replayed + appended journal records, for time travel
+	ckptVer uint64    // version of the latest checkpoint record (0 = none)
+	sinceCk int       // delta commits since the latest checkpoint
 	bld     *builder
 	pendT   []*dataset.TorrentRecord
 	pendU   []dataset.UserRecord
@@ -100,10 +129,14 @@ type Lake struct {
 }
 
 // Open opens (or creates) the lake in dir. Crash recovery happens here:
-// a torn MANIFEST.tmp is discarded, segment and meta files not referenced
-// by the committed manifest are deleted, and every referenced segment is
-// size-checked against its manifest entry (Options.Salvage turns a
-// failing segment into a logged drop instead of an error).
+// a torn journal tail is repaired (a crash mid-append can only lose the
+// record being written, never a committed one), the journal is replayed
+// into the live state from its latest checkpoint, a v1 MANIFEST found
+// without a journal is migrated into the journal's opening checkpoint,
+// segment and meta files not referenced by committed state are deleted,
+// and every referenced segment is size-checked against its entry
+// (Options.Salvage turns a failing segment into a logged drop — committed
+// as a retire record — instead of an error).
 func Open(dir string, opt Options) (*Lake, error) {
 	opt.setDefaults()
 	fsys := opt.FS
@@ -113,32 +146,84 @@ func Open(dir string, opt Options) (*Lake, error) {
 	if err := fsys.MkdirAll(); err != nil {
 		return nil, err
 	}
-	man, ok, err := loadManifest(fsys)
+	jr, err := journal.Open(fsys, journal.Name)
 	if err != nil {
 		return nil, err
 	}
-	if !ok {
-		man = &manifest{Format: formatV1}
+	var man *manifest
+	var hist []histRec
+	if jr.Len() > 0 {
+		if hist, err = decodeHist(jr.Records()); err != nil {
+			return nil, err
+		}
+		if man, err = foldHist(hist, len(hist), false); err != nil {
+			return nil, err
+		}
+		// A MANIFEST beside a live journal is a migration leftover (the
+		// crash hit after the opening checkpoint was synced but before the
+		// old file was removed). The journal wins.
+		_ = fsys.Remove(manifestName)
+	} else {
+		v1, ok, err := loadManifest(fsys)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !ok:
+			man = &manifest{Format: formatV2}
+		default:
+			// Migrate: the v1 state becomes the journal's opening
+			// checkpoint. Only after that record is synced does the
+			// MANIFEST go away — a crash in between leaves both, and the
+			// journal wins on the next open.
+			man = v1
+			man.Format = formatV2
+			if man.Version == 0 {
+				man.Version = 1
+			}
+			pay := checkpointPayload(man)
+			data, err := json.Marshal(pay)
+			if err != nil {
+				return nil, err
+			}
+			rec := journal.Record{Checkpoint: true, Version: man.Version, Payload: data}
+			if err := jr.Append(rec); err != nil {
+				return nil, fmt.Errorf("lake: migrating v1 manifest to journal: %w", err)
+			}
+			_ = fsys.Remove(manifestName)
+			_ = fsys.SyncDir()
+			hist = append(hist, histRec{version: man.Version, checkpoint: true, pay: pay})
+		}
 	}
-	// Validate referenced segments before touching anything else.
+	// Validate referenced segments before touching anything else, building
+	// the salvage commit's deltas as entries change.
 	var keep []segMeta
-	salvaged := false
+	var retire []string
+	var readd []segMeta
 	for _, s := range man.Segments {
 		// A missing or resized microindex never loses data: drop the
 		// reference so scans of this segment fall back to bloom pruning,
-		// and commit the degraded manifest below.
+		// committed below as a retire + re-add of the same file.
+		degraded := false
 		if s.Index != "" {
 			isz, err := fsys.Size(s.Index)
 			if err != nil || isz != s.IndexBytes {
 				log.Printf("lake: dropping microindex %s for %s (missing or resized); bloom pruning only", s.Index, s.File)
 				s.Index, s.IndexBytes = "", 0
-				salvaged = true
+				degraded = true
 			}
 		}
 		sz, err := fsys.Size(s.File)
 		switch {
 		case err == nil && sz == s.Bytes:
-			keep = append(keep, s)
+			if degraded {
+				// Rewritten entries move to the tail, exactly as replaying
+				// the retire + re-add record orders them.
+				retire = append(retire, s.File)
+				readd = append(readd, s)
+			} else {
+				keep = append(keep, s)
+			}
 			continue
 		case err == nil:
 			err = &CorruptSegmentError{File: s.File, Reason: fmt.Sprintf("size %d, manifest says %d", sz, s.Bytes)}
@@ -150,26 +235,35 @@ func Open(dir string, opt Options) (*Lake, error) {
 		}
 		log.Printf("lake: salvage: dropping segment %s (%v, %d observations lost)", s.File, err, s.Rows)
 		man.Rows -= int64(s.Rows)
-		salvaged = true
+		retire = append(retire, s.File)
 	}
-	man.Segments = keep
+	man.Segments = append(keep, readd...)
 	for _, f := range man.Meta {
 		if _, err := fsys.Size(f); err != nil {
 			return nil, fmt.Errorf("lake: meta file %s: %w", f, err)
 		}
 	}
 	// Remove files a crash orphaned (written but never committed) and any
-	// leftover tmp manifest. Only files this package names are touched.
+	// leftover tmp files. Only files this package names are touched; with
+	// Retain set, files any journal record ever referenced survive so
+	// historical versions stay scannable.
 	names, err := fsys.ReadDir()
 	if err != nil {
 		return nil, err
 	}
 	referenced := man.files()
+	var retained map[string]bool
+	if opt.Retain {
+		retained = histFiles(hist)
+	}
 	for _, name := range names {
 		if !isLakeFile(name) {
 			continue
 		}
 		if _, ok := referenced[name]; ok {
+			continue
+		}
+		if retained[name] {
 			continue
 		}
 		_ = fsys.Remove(name)
@@ -184,10 +278,19 @@ func Open(dir string, opt Options) (*Lake, error) {
 			man.NextTID = s.MaxTID + 1
 		}
 	}
-	lk := &Lake{dir: dir, fs: fsys, opt: opt, man: man, bld: newBuilder()}
-	if salvaged {
-		lk.man.Version++
-		if err := commitManifest(fsys, lk.man); err != nil {
+	lk := &Lake{dir: dir, fs: fsys, opt: opt, man: man, bld: newBuilder(), jr: jr, hist: hist}
+	for i := len(hist) - 1; i >= 0; i-- {
+		if hist[i].checkpoint {
+			lk.ckptVer = hist[i].version
+			break
+		}
+		lk.sinceCk++
+	}
+	if len(retire) > 0 || len(readd) > 0 {
+		next := lk.man // Open owns the state; no clone needed yet
+		next.Version++
+		pay := &commitPayload{RetireSegments: retire, AddSegments: readd}
+		if err := lk.commitLocked(next, pay, false); err != nil {
 			return nil, err
 		}
 	}
@@ -218,9 +321,10 @@ func (lk *Lake) Close() error {
 
 var errClosed = errors.New("lake: closed")
 
-// Version returns the committed manifest version; it increases on every
-// flush, import and compaction, so cached readers can cheaply detect
-// staleness.
+// Version returns the journal head version; it increases on every flush,
+// import and compaction, so cached readers can cheaply detect staleness,
+// and any value it ever returned can be pinned with OpenAt or
+// Predicate.AsOf (subject to vacuuming, see Options.Retain).
 func (lk *Lake) Version() uint64 {
 	lk.mu.Lock()
 	defer lk.mu.Unlock()
@@ -237,15 +341,23 @@ func (lk *Lake) NextTorrentID() int {
 
 // Stats is a point-in-time summary of committed lake state.
 type Stats struct {
-	Name         string    `json:"name"`
-	Start        time.Time `json:"start"`
-	End          time.Time `json:"end"`
-	Version      uint64    `json:"version"`
-	Segments     int       `json:"segments"`
-	Observations int64     `json:"observations"`
-	Torrents     int       `json:"torrents"`
-	Users        int       `json:"users"`
-	Dropped      int64     `json:"dropped"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Version is the journal head version; CheckpointVersion the version
+	// of the latest checkpoint record (0 until one is written); Commits
+	// the number of journal records replay would read; TotalBytes the
+	// on-disk footprint of live segments, microindexes and the journal.
+	Version           uint64 `json:"version"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	Commits           int64  `json:"commits"`
+	TotalBytes        int64  `json:"total_bytes"`
+
+	Segments     int   `json:"segments"`
+	Observations int64 `json:"observations"`
+	Torrents     int   `json:"torrents"`
+	Users        int   `json:"users"`
+	Dropped      int64 `json:"dropped"`
 	// SegmentsRead / SegmentsSkipped / SegmentsSkippedPostings are
 	// cumulative scan pushdown counters for this handle: Skipped counts
 	// segments pruned by zone maps alone, SkippedPostings counts
@@ -264,7 +376,13 @@ func (lk *Lake) Stats() Stats {
 		Name: m.Name, Start: m.Start, End: m.End,
 		Version: m.Version, Segments: len(m.Segments),
 		Observations: m.Rows, Torrents: m.Torrents, Users: m.Users,
-		Dropped: m.Dropped,
+		Dropped:           m.Dropped,
+		CheckpointVersion: lk.ckptVer,
+		Commits:           int64(lk.jr.Len()),
+		TotalBytes:        lk.jr.Size(),
+	}
+	for _, s := range m.Segments {
+		st.TotalBytes += s.Bytes + s.IndexBytes
 	}
 	lk.mu.Unlock()
 	st.SegmentsRead = lk.segsRead.Load()
@@ -385,13 +503,19 @@ func (lk *Lake) maybeFlushLocked() error {
 	return lk.flushLocked(true)
 }
 
-// flushLocked writes the builder segment and/or meta file, commits the
-// manifest, and (optionally) kicks the background compactor.
+// flushLocked writes the builder segment and/or meta file, appends the
+// commit record, and (optionally) kicks the background compactor. The
+// live state only advances — and the builder and pending records are
+// only cleared — once the journal append succeeds; a failed attempt
+// retries with the same sequence numbers and Create truncates the
+// half-written files.
 func (lk *Lake) flushLocked(autoCompact bool) error {
-	dirty := false
+	next := lk.man.clone()
+	pay := &commitPayload{}
+	sealedSeg := false
 	if n := lk.bld.store.Len(); n > 0 {
-		seq := lk.man.NextSeq
-		lk.man.NextSeq++
+		seq := next.NextSeq
+		next.NextSeq++
 		name := fmt.Sprintf("seg-%06d.obs", seq)
 		buf := encodeSegment(&lk.bld.store, lk.bld.zone)
 		if err := lk.writeFileSync(name, buf); err != nil {
@@ -399,61 +523,109 @@ func (lk *Lake) flushLocked(autoCompact bool) error {
 			return err
 		}
 		// Seal the segment's microindex beside it (same sequence number)
-		// before the manifest that references both is committed.
+		// before the commit record that references both is appended.
 		idxName := fmt.Sprintf("idx-%06d.ipx", seq)
 		idxBuf := encodeMicroindex(buildMicroindex(&lk.bld.store))
 		if err := lk.writeFileSync(idxName, idxBuf); err != nil {
 			lk.lastErr = err
 			return err
 		}
-		lk.man.Segments = append(lk.man.Segments, segMeta{
+		sm := segMeta{
 			File: name, Bytes: int64(len(buf)),
 			Index: idxName, IndexBytes: int64(len(idxBuf)),
 			zone: lk.bld.zone,
-		})
-		lk.man.Rows += int64(n)
-		if lk.bld.zone.MaxTID+1 > lk.man.NextTID {
+		}
+		next.Segments = append(next.Segments, sm)
+		pay.AddSegments = append(pay.AddSegments, sm)
+		next.Rows += int64(n)
+		if lk.bld.zone.MaxTID+1 > next.NextTID {
 			// Streamed observations can mention torrents whose records are
 			// only committed at campaign end; NextTID must clear them now
 			// so a crash before that commit cannot recycle their IDs.
-			lk.man.NextTID = lk.bld.zone.MaxTID + 1
+			next.NextTID = lk.bld.zone.MaxTID + 1
 		}
-		lk.bld = newBuilder()
-		dirty = true
+		sealedSeg = true
 	}
+	sealedMeta := false
 	if len(lk.pendT) > 0 || len(lk.pendU) > 0 {
-		name := fmt.Sprintf("meta-%06d.jsonl", lk.man.NextSeq)
-		lk.man.NextSeq++
-		md := &dataset.Dataset{Name: lk.man.Name, Start: lk.man.Start, End: lk.man.End}
+		name := fmt.Sprintf("meta-%06d.jsonl", next.NextSeq)
+		next.NextSeq++
+		md := &dataset.Dataset{Name: next.Name, Start: next.Start, End: next.End}
 		md.Torrents = lk.pendT
 		md.Users = lk.pendU
 		if err := lk.saveSync(name, md); err != nil {
 			lk.lastErr = err
 			return err
 		}
-		lk.man.Meta = append(lk.man.Meta, name)
-		lk.man.Torrents += len(lk.pendT)
-		lk.man.Users += len(lk.pendU)
+		next.Meta = append(next.Meta, name)
+		pay.AddMeta = append(pay.AddMeta, name)
+		next.Torrents += len(lk.pendT)
+		next.Users += len(lk.pendU)
 		for _, t := range lk.pendT {
-			if int32(t.TorrentID) >= lk.man.NextTID {
-				lk.man.NextTID = int32(t.TorrentID) + 1
+			if int32(t.TorrentID) >= next.NextTID {
+				next.NextTID = int32(t.TorrentID) + 1
 			}
 		}
-		lk.pendT, lk.pendU = nil, nil
-		dirty = true
+		sealedMeta = true
 	}
-	if !dirty {
+	if !sealedSeg && !sealedMeta {
 		return nil
 	}
-	lk.man.Version++
-	if err := commitManifest(lk.fs, lk.man); err != nil {
+	next.Version++
+	if err := lk.commitLocked(next, pay, false); err != nil {
 		lk.lastErr = err
 		return err
 	}
+	if sealedSeg {
+		lk.bld = newBuilder()
+	}
+	if sealedMeta {
+		lk.pendT, lk.pendU = nil, nil
+	}
+	lk.maybeCheckpointLocked()
 	if autoCompact && lk.opt.Compact.Auto && lk.compactEligibleLocked() {
 		lk.startCompactLocked()
 	}
 	return nil
+}
+
+// commitLocked appends one record to the journal and, on success,
+// installs next as the live state. Callers hold mu, own next (a clone or
+// a state no reader shares), and have already written and fsynced every
+// file the record references. On failure the live state is unchanged.
+func (lk *Lake) commitLocked(next *manifest, pay *commitPayload, checkpoint bool) error {
+	payloadScalars(pay, next)
+	data, err := json.Marshal(pay)
+	if err != nil {
+		return err
+	}
+	rec := journal.Record{Checkpoint: checkpoint, Version: next.Version, Payload: data}
+	if err := lk.jr.Append(rec); err != nil {
+		return err
+	}
+	lk.man = next
+	lk.hist = append(lk.hist, histRec{version: next.Version, checkpoint: checkpoint, pay: pay})
+	if checkpoint {
+		lk.ckptVer = next.Version
+		lk.sinceCk = 0
+	} else {
+		lk.sinceCk++
+	}
+	return nil
+}
+
+// maybeCheckpointLocked appends a checkpoint record once CheckpointEvery
+// delta commits have accumulated. A checkpoint repeats the head version
+// with the full state, bounding replay; it is an optimization, so a
+// failed append is logged and the lake keeps going — replay just starts
+// from an older checkpoint.
+func (lk *Lake) maybeCheckpointLocked() {
+	if lk.sinceCk < lk.opt.CheckpointEvery {
+		return
+	}
+	if err := lk.commitLocked(lk.man.clone(), checkpointPayload(lk.man), true); err != nil {
+		log.Printf("lake: checkpoint at version %d failed: %v", lk.man.Version, err)
+	}
 }
 
 // writeFileSync writes data and fsyncs before closing, so the manifest
@@ -639,9 +811,10 @@ func (lk *Lake) Materialize(ctx context.Context, pred Predicate) (*dataset.Datas
 func (lk *Lake) MaterializeVersion(ctx context.Context, pred Predicate) (*dataset.Dataset, uint64, error) {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
-	lk.mu.Lock()
-	man := lk.man.clone()
-	lk.mu.Unlock()
+	man, err := lk.pinned(pred.AsOf)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	raw := &dataset.Dataset{Name: man.Name, Start: man.Start, End: man.End}
 	torrents, users, err := lk.readMetaLocked(man)
@@ -686,12 +859,67 @@ func (lk *Lake) MaterializeVersion(ctx context.Context, pred Predicate) (*datase
 // TorrentRecords reads every committed torrent record (and user records)
 // from the lake's meta files.
 func (lk *Lake) TorrentRecords() ([]*dataset.TorrentRecord, []dataset.UserRecord, error) {
+	return lk.TorrentRecordsAsOf(0)
+}
+
+// TorrentRecordsAsOf is TorrentRecords against the state committed at
+// version (0 = head): records committed after that version are absent,
+// exactly as a reader at the time would have seen the lake.
+func (lk *Lake) TorrentRecordsAsOf(version uint64) ([]*dataset.TorrentRecord, []dataset.UserRecord, error) {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
-	lk.mu.Lock()
-	man := lk.man.clone()
-	lk.mu.Unlock()
+	man, err := lk.pinned(version)
+	if err != nil {
+		return nil, nil, err
+	}
 	return lk.readMetaLocked(man)
+}
+
+// pinned resolves the committed state a scan should run against: version
+// 0 (or the current head) means the live state, anything else a fold of
+// the journal history. Callers hold scanMu.R, which keeps the resolved
+// files on disk until the scan finishes.
+func (lk *Lake) pinned(version uint64) (*manifest, error) {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	return lk.stateAtLocked(version)
+}
+
+// stateAtLocked folds the journal history into the state committed at
+// version (0 = head). The result is a private copy. Callers hold mu.
+func (lk *Lake) stateAtLocked(version uint64) (*manifest, error) {
+	head := lk.man.Version
+	if version == 0 || version == head {
+		return lk.man.clone(), nil
+	}
+	if version > head {
+		return nil, &VersionUnavailableError{Version: version, Head: head, Reason: "not committed yet"}
+	}
+	n := 0
+	for i, h := range lk.hist {
+		if h.version <= version {
+			n = i + 1
+		}
+	}
+	if n == 0 || lk.hist[n-1].version != version {
+		// The journal starts at the migration checkpoint; v1-era versions
+		// below it were never recorded.
+		return nil, &VersionUnavailableError{Version: version, Head: head, Reason: "predates the journal"}
+	}
+	m, err := foldHist(lk.hist, n, false)
+	if err != nil {
+		return nil, err
+	}
+	// Compaction retires this version's segments eventually; unless
+	// Options.Retain holds them, a vacuum may already have deleted them.
+	for _, s := range m.Segments {
+		sz, err := lk.fs.Size(s.File)
+		if err != nil || sz != s.Bytes {
+			return nil, &VersionUnavailableError{Version: version, Head: head,
+				Reason: fmt.Sprintf("segment %s was vacuumed after compaction", s.File)}
+		}
+	}
+	return m, nil
 }
 
 // readMetaLocked loads the manifest's meta files. Callers hold scanMu.R.
@@ -713,18 +941,32 @@ func (lk *Lake) readMetaLocked(man *manifest) ([]*dataset.TorrentRecord, []datas
 	return torrents, users, nil
 }
 
-// Verify reads and CRC-checks every committed segment — and, when the
-// segment carries a microindex, CRC-checks the index file and
-// cross-checks its postings against the postings rebuilt from the
-// segment's actual rows — returning one error per corrupt file (nil
-// means the lake is fully intact).
+// Verify checks the whole lake: the on-disk journal is strictly
+// re-decoded (rejecting torn tails, CRC damage, version regressions and
+// parent-hash breaks), folded with every checkpoint cross-checked
+// against replay, and held against the live state; then every committed
+// segment is read and CRC-checked — and, when the segment carries a
+// microindex, the index file is CRC-checked and its postings
+// cross-checked against the postings rebuilt from the segment's actual
+// rows. One error per problem; nil means the lake is fully intact.
 func (lk *Lake) Verify(ctx context.Context) []error {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
+	// Journal bytes and state snapshot under one critical section, so an
+	// interleaved commit cannot register as a false divergence.
 	lk.mu.Lock()
+	jbuf, jerr := lk.fs.ReadFile(journal.Name)
 	man := lk.man.clone()
 	lk.mu.Unlock()
 	var errs []error
+	switch {
+	case jerr != nil && os.IsNotExist(jerr) && man.Version == 0:
+		// A fresh lake: nothing committed, no journal yet.
+	case jerr != nil:
+		errs = append(errs, fmt.Errorf("lake: verify: reading journal: %w", jerr))
+	default:
+		errs = append(errs, verifyJournal(jbuf, man)...)
+	}
 	for _, sm := range man.Segments {
 		if ctx.Err() != nil {
 			errs = append(errs, ctx.Err())
@@ -751,6 +993,46 @@ func (lk *Lake) Verify(ctx context.Context) []error {
 		if !x.equal(buildMicroindexFromSeg(d)) {
 			errs = append(errs, &CorruptIndexError{File: sm.Index, Reason: "postings disagree with segment " + sm.File})
 		}
+	}
+	return errs
+}
+
+// verifyJournal strictly decodes and replays journal bytes and compares
+// the folded head against the live state man. Name/Start/End, Dropped
+// and NextTID legitimately run ahead of the journal in memory
+// (ExtendWindow, AddDropped and import reservations commit with the
+// next flush), so they are excluded; everything else must agree exactly.
+func verifyJournal(buf []byte, man *manifest) []error {
+	recs, err := journal.Decode(buf)
+	if err != nil {
+		return []error{fmt.Errorf("lake: verify: %w", err)}
+	}
+	hist, err := decodeHist(recs)
+	if err != nil {
+		return []error{err}
+	}
+	folded, err := foldHist(hist, len(hist), true)
+	if err != nil {
+		return []error{err}
+	}
+	if folded.Version != man.Version {
+		return []error{fmt.Errorf("lake: verify: journal head is version %d, live state is %d", folded.Version, man.Version)}
+	}
+	var errs []error
+	if folded.NextSeq != man.NextSeq {
+		errs = append(errs, fmt.Errorf("lake: verify: journal next_seq %d, live state %d", folded.NextSeq, man.NextSeq))
+	}
+	if folded.Rows != man.Rows || folded.Torrents != man.Torrents || folded.Users != man.Users {
+		errs = append(errs, fmt.Errorf("lake: verify: journal rows/torrents/users %d/%d/%d, live state %d/%d/%d",
+			folded.Rows, folded.Torrents, folded.Users, man.Rows, man.Torrents, man.Users))
+	}
+	if !slices.Equal(folded.Segments, man.Segments) {
+		errs = append(errs, fmt.Errorf("lake: verify: journal segment list disagrees with live state (%d vs %d entries)",
+			len(folded.Segments), len(man.Segments)))
+	}
+	if !slices.Equal(folded.Meta, man.Meta) {
+		errs = append(errs, fmt.Errorf("lake: verify: journal meta list disagrees with live state (%d vs %d entries)",
+			len(folded.Meta), len(man.Meta)))
 	}
 	return errs
 }

@@ -1,10 +1,15 @@
-// The manifest is the lake's single source of truth: a small JSON file
-// naming every live segment and meta file together with their zone maps
-// and sizes. Commits are atomic — the new manifest is written to
-// MANIFEST.tmp, fsynced, then renamed over MANIFEST — so a crash at any
-// point leaves either the old or the new state, never a torn one.
-// Segment and meta files are written (and fsynced) before the manifest
-// that references them; files a crash orphaned are deleted on Open.
+// The manifest is the lake's in-memory state: every live segment and
+// meta file together with their zone maps and sizes. Under format v1 it
+// was also the on-disk source of truth, committed atomically as a JSON
+// file (written to MANIFEST.tmp, fsynced, renamed over MANIFEST).
+// Format v2 replaces that single-version file with the append-only
+// commit journal (see internal/lake/journal and commits.go): Open
+// replays the journal into a manifest, and a v1 MANIFEST found without a
+// journal is migrated on first open — its state becomes the journal's
+// opening checkpoint record, after which the MANIFEST file is removed.
+// Segment and meta files are still written (and fsynced) before the
+// commit record that references them; files a crash orphaned are deleted
+// on Open.
 package lake
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"btpub/internal/lake/journal"
 	"btpub/internal/vfs"
 )
 
@@ -21,6 +27,7 @@ const (
 	manifestName = "MANIFEST"
 	manifestTmp  = "MANIFEST.tmp"
 	formatV1     = 1
+	formatV2     = 2
 )
 
 // segMeta is one live segment's manifest entry. Index names the
@@ -83,8 +90,8 @@ func (m *manifest) files() map[string]int64 {
 	return out
 }
 
-// loadManifest reads the committed manifest; ok=false means the lake is
-// fresh (no manifest at all).
+// loadManifest reads a committed v1 manifest; ok=false means there is
+// none (a fresh lake, or one already migrated to the journal).
 func loadManifest(fsys vfs.FS) (*manifest, bool, error) {
 	data, err := fsys.ReadFile(manifestName)
 	if os.IsNotExist(err) {
@@ -103,7 +110,9 @@ func loadManifest(fsys vfs.FS) (*manifest, bool, error) {
 	return &m, true, nil
 }
 
-// commitManifest atomically replaces the committed manifest with m.
+// commitManifest atomically replaces the committed v1 manifest with m.
+// Production writers no longer call it — format v2 commits through the
+// journal — but the migration tests use it to build genuine v1 lakes.
 func commitManifest(fsys vfs.FS, m *manifest) error {
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
@@ -139,5 +148,5 @@ func isLakeFile(name string) bool {
 	return strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".obs") ||
 		strings.HasPrefix(name, "idx-") && strings.HasSuffix(name, ".ipx") ||
 		strings.HasPrefix(name, "meta-") && strings.HasSuffix(name, ".jsonl") ||
-		name == manifestTmp
+		name == manifestTmp || name == journal.TmpName
 }

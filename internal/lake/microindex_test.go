@@ -154,12 +154,10 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Rewrite the manifest as a pre-microindex lake: no index fields,
-	// no idx files.
-	man, ok, err := loadManifest(vfs.OS(dir))
-	if err != nil || !ok {
-		t.Fatalf("loadManifest: %v, %v", err, ok)
-	}
+	// Rewrite the on-disk state as a pre-microindex format-v1 lake: a
+	// MANIFEST without index fields, no idx files, no journal. Opening it
+	// exercises migration and the bloom-only fallback together.
+	man := liveManifest(lk)
 	if len(man.Segments) < 10 {
 		t.Fatalf("segments = %d, want many", len(man.Segments))
 	}
@@ -172,8 +170,12 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 		}
 		man.Segments[i].Index, man.Segments[i].IndexBytes = "", 0
 	}
+	man.Format = formatV1
 	man.Version++
 	if err := commitManifest(vfs.OS(dir), man); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "JOURNAL")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -189,7 +191,10 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 
 	// Point lookups still work — postings just can't prune, and the
 	// saturated blooms can't either, so every segment is opened.
-	pl := lk.PlanScan(Predicate{IPs: []string{target}})
+	pl, err := lk.PlanScan(Predicate{IPs: []string{target}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pl.PrunedPostings != 0 {
 		t.Fatalf("plan pruned %d segments via postings that do not exist", pl.PrunedPostings)
 	}
@@ -211,11 +216,7 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 	if err := lk.Compact(); err != nil {
 		t.Fatal(err)
 	}
-	man, _, err = loadManifest(vfs.OS(dir))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, s := range man.Segments {
+	for _, s := range liveManifest(lk).Segments {
 		if s.Index == "" {
 			t.Fatalf("compacted segment %s has no index", s.File)
 		}
@@ -226,10 +227,22 @@ func TestPreMicroindexLakeCompat(t *testing.T) {
 	if errs := lk.Verify(ctx); len(errs) != 0 {
 		t.Fatalf("compacted lake fails Verify: %v", errs)
 	}
-	pl = lk.PlanScan(Predicate{IPs: []string{"203.0.113.254"}})
+	pl, err = lk.PlanScan(Predicate{IPs: []string{"203.0.113.254"}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pl.PrunedPostings == 0 || len(pl.Opened) != 0 {
 		t.Fatalf("regenerated postings did not prune an absent address: %+v", pl)
 	}
+}
+
+// liveManifest snapshots a handle's committed state — the test-side
+// replacement for reading a MANIFEST file, which format v2 no longer
+// writes.
+func liveManifest(lk *Lake) *manifest {
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	return lk.man.clone()
 }
 
 // TestMissingIndexFileDegrades: losing an idx file the manifest still
@@ -255,11 +268,7 @@ func TestMissingIndexFileDegrades(t *testing.T) {
 	if err := lk.Close(); err != nil {
 		t.Fatal(err)
 	}
-	man, _, err := loadManifest(vfs.OS(dir))
-	if err != nil {
-		t.Fatal(err)
-	}
-	victim := man.Segments[1]
+	victim := liveManifest(lk).Segments[1]
 	if err := os.Remove(filepath.Join(dir, victim.Index)); err != nil {
 		t.Fatal(err)
 	}
@@ -269,11 +278,7 @@ func TestMissingIndexFileDegrades(t *testing.T) {
 		t.Fatalf("missing index file blocked Open: %v", err)
 	}
 	defer lk.Close()
-	man, _, err = loadManifest(vfs.OS(dir))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, s := range man.Segments {
+	for _, s := range liveManifest(lk).Segments {
 		if s.File == victim.File {
 			if s.Index != "" {
 				t.Fatalf("dangling index reference survived: %+v", s)

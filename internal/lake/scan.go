@@ -38,6 +38,13 @@ type Predicate struct {
 	IP string
 	// SeedersOnly keeps only seeder sightings.
 	SeedersOnly bool
+	// AsOf pins the scan to the state committed at this journal version
+	// (0 = the current head): segments sealed after it are invisible, so
+	// a query replays byte-identically while ingest continues. Pinning a
+	// version that predates the journal — or whose segments compaction
+	// has vacuumed (see Options.Retain) — fails with
+	// *VersionUnavailableError.
+	AsOf uint64
 }
 
 // predKind names one row-level predicate column.
@@ -328,13 +335,15 @@ type ScanPlan struct {
 	Rows int64 `json:"rows"`
 }
 
-// PlanScan plans a scan without executing it.
-func (lk *Lake) PlanScan(pred Predicate) ScanPlan {
+// PlanScan plans a scan without executing it. It fails only when
+// pred.AsOf pins an unavailable version.
+func (lk *Lake) PlanScan(pred Predicate) (ScanPlan, error) {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
-	lk.mu.Lock()
-	man := lk.man.clone()
-	lk.mu.Unlock()
+	man, err := lk.pinned(pred.AsOf)
+	if err != nil {
+		return ScanPlan{}, err
+	}
 	c := pred.compile()
 	p := lk.planManifest(man, &c)
 	out := ScanPlan{
@@ -349,7 +358,7 @@ func (lk *Lake) PlanScan(pred Predicate) ScanPlan {
 		out.Opened = append(out.Opened, sm.File)
 		out.Rows += int64(sm.Rows)
 	}
-	return out
+	return out, nil
 }
 
 // Scan streams every committed observation matching pred to fn, reading
@@ -370,9 +379,10 @@ func (lk *Lake) Scan(ctx context.Context, pred Predicate, fn func(*Batch) error)
 func (lk *Lake) ScanWorkers(ctx context.Context, pred Predicate, workers int, fn func(worker int, b *Batch) error) error {
 	lk.scanMu.RLock()
 	defer lk.scanMu.RUnlock()
-	lk.mu.Lock()
-	man := lk.man.clone()
-	lk.mu.Unlock()
+	man, err := lk.pinned(pred.AsOf)
+	if err != nil {
+		return err
+	}
 	return lk.scanManifest(ctx, man, pred, workers, fn)
 }
 

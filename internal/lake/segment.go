@@ -8,19 +8,29 @@
 // scans prune segments without touching the file at all; the in-file copy
 // exists so a segment is self-describing for recovery and verification.
 //
-// All integers are little-endian. Layout:
+// All fixed-width integers are little-endian. The v2 layout, written by
+// every current seal:
 //
-//	magic   "BTLKSG1\n"                     8 bytes
+//	magic   "BTLKSG2\n"                     8 bytes
 //	rows    u32    nIPs u32                 8
 //	minAt   i64    maxAt i64                16
 //	minTID  i32    maxTID i32               8
 //	ipBloom u64                             8
-//	IP table: nIPs × (u32 len + bytes)
-//	tids:     rows × i32
-//	ipIdx:    rows × u32
-//	atNs:     rows × i64
+//	atScale  uvarint (GCD of timestamp deltas, >= 1)
+//	IP table: nIPs × (uvarint len + bytes)
+//	tids:     rows × zigzag-varint delta from the previous row (first from 0)
+//	ipIdx:    rows × uvarint
+//	atNs:     zigzag-varint first value, then (rows-1) × zigzag-varint
+//	          of (delta from previous row) / atScale
 //	seeder:   ceil(rows/64) × u64
 //	crc32c   u32 over everything above      4
+//
+// Torrent IDs are dense and arrive clustered, timestamps of successive
+// probes differ by whole probe periods (the GCD factors that period out),
+// and intern indices are small — so the varint columns shrink the file
+// severalfold against the v1 fixed-width layout. Files under the v1 magic
+// "BTLKSG1\n" (u32 IP lens, raw i32/u32/i64 columns in the same order)
+// decode transparently; nothing rewrites them.
 package lake
 
 import (
@@ -32,7 +42,10 @@ import (
 	"btpub/internal/dataset"
 )
 
-const segMagic = "BTLKSG1\n"
+const (
+	segMagic   = "BTLKSG1\n"
+	segMagicV2 = "BTLKSG2\n"
+)
 
 // segHeaderLen is the byte length of the fixed header (magic + zone maps).
 const segHeaderLen = 8 + 8 + 16 + 8 + 8
@@ -95,10 +108,103 @@ type segData struct {
 func (d *segData) rows() int           { return len(d.tids) }
 func (d *segData) seeder(i int32) bool { return d.seed[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-// encodeSegment serializes a sealed builder store. The store's columns are
-// walked through the exported ObsStore accessors, so the lake never
-// depends on dataset internals.
+// appendSegHeader writes the fixed header shared by both formats.
+func appendSegHeader(buf []byte, magic string, n, nIPs int, z zone) []byte {
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nIPs))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MinAtNs))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MaxAtNs))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(z.MinTID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(z.MaxTID))
+	buf = binary.LittleEndian.AppendUint64(buf, z.IPBloom)
+	return buf
+}
+
+// appendSeedWords packs the seeder column into raw u64 words (the one
+// column that is already a bitset — nothing to compress).
+func appendSeedWords(buf []byte, s *dataset.ObsStore, n int) []byte {
+	bits := make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		if s.Seeder(i) {
+			bits[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	for _, w := range bits {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// encodeSegment serializes a sealed builder store in the v2 compressed
+// layout. The store's columns are walked through the exported ObsStore
+// accessors, so the lake never depends on dataset internals.
 func encodeSegment(s *dataset.ObsStore, z zone) []byte {
+	n := s.Len()
+	ips := s.IPs()
+	nIPs := ips.Len()
+	// Timestamps of successive rows differ by whole probe periods; the
+	// GCD of the deltas factors that period out so each delta varint is
+	// a small multiple count instead of a nanosecond count.
+	var scale int64 = 1
+	if n > 1 {
+		var g int64
+		prev := s.UnixNano(0)
+		for i := 1; i < n; i++ {
+			at := s.UnixNano(i)
+			g = gcd64(g, at-prev)
+			prev = at
+		}
+		if g > 1 {
+			scale = g
+		}
+	}
+	buf := make([]byte, 0, segHeaderLen+4*n)
+	buf = appendSegHeader(buf, segMagicV2, n, nIPs, z)
+	buf = binary.AppendUvarint(buf, uint64(scale))
+	for i := 0; i < nIPs; i++ {
+		str := ips.String(uint32(i))
+		buf = binary.AppendUvarint(buf, uint64(len(str)))
+		buf = append(buf, str...)
+	}
+	var prevT int64
+	for i := 0; i < n; i++ {
+		t := int64(s.TorrentID(i))
+		buf = binary.AppendVarint(buf, t-prevT)
+		prevT = t
+	}
+	for i := 0; i < n; i++ {
+		buf = binary.AppendUvarint(buf, uint64(s.IPIndex(i)))
+	}
+	if n > 0 {
+		buf = binary.AppendVarint(buf, s.UnixNano(0))
+		prev := s.UnixNano(0)
+		for i := 1; i < n; i++ {
+			at := s.UnixNano(i)
+			buf = binary.AppendVarint(buf, (at-prev)/scale)
+			prev = at
+		}
+	}
+	buf = appendSeedWords(buf, s, n)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+// gcd64 returns gcd(|a|, |b|); gcd(0, b) = |b|.
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		a = -a
+	}
+	return a
+}
+
+// encodeSegmentV1 serializes the legacy fixed-width v1 layout. Production
+// writers only emit v2; this encoder exists so tests can build genuine
+// v1 lakes to exercise migration and mixed-format reads.
+func encodeSegmentV1(s *dataset.ObsStore, z zone) []byte {
 	n := s.Len()
 	ips := s.IPs()
 	nIPs := ips.Len()
@@ -107,14 +213,7 @@ func encodeSegment(s *dataset.ObsStore, z zone) []byte {
 		size += len(ips.String(uint32(i)))
 	}
 	buf := make([]byte, 0, size)
-	buf = append(buf, segMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(nIPs))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MinAtNs))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(z.MaxAtNs))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(z.MinTID))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(z.MaxTID))
-	buf = binary.LittleEndian.AppendUint64(buf, z.IPBloom)
+	buf = appendSegHeader(buf, segMagic, n, nIPs, z)
 	for i := 0; i < nIPs; i++ {
 		str := ips.String(uint32(i))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(str)))
@@ -129,16 +228,7 @@ func encodeSegment(s *dataset.ObsStore, z zone) []byte {
 	for i := 0; i < n; i++ {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(s.UnixNano(i)))
 	}
-	words := (n + 63) / 64
-	bits := make([]uint64, words)
-	for i := 0; i < n; i++ {
-		if s.Seeder(i) {
-			bits[i>>6] |= 1 << (uint(i) & 63)
-		}
-	}
-	for _, w := range bits {
-		buf = binary.LittleEndian.AppendUint64(buf, w)
-	}
+	buf = appendSeedWords(buf, s, n)
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 	return buf
 }
@@ -153,7 +243,9 @@ func (e *CorruptSegmentError) Error() string {
 	return fmt.Sprintf("lake: corrupt segment %s: %s", e.File, e.Reason)
 }
 
-// decodeSegment parses and CRC-verifies one segment file's bytes.
+// decodeSegment parses and CRC-verifies one segment file's bytes,
+// dispatching on the magic between the v1 fixed-width and v2 compressed
+// column layouts.
 func decodeSegment(file string, buf []byte) (*segData, zone, error) {
 	fail := func(reason string) (*segData, zone, error) {
 		return nil, zone{}, &CorruptSegmentError{File: file, Reason: reason}
@@ -161,7 +253,8 @@ func decodeSegment(file string, buf []byte) (*segData, zone, error) {
 	if len(buf) < segHeaderLen+4 {
 		return fail(fmt.Sprintf("file too short (%d bytes)", len(buf)))
 	}
-	if string(buf[:8]) != segMagic {
+	magic := string(buf[:8])
+	if magic != segMagic && magic != segMagicV2 {
 		return fail("bad magic")
 	}
 	body, footer := buf[:len(buf)-4], buf[len(buf)-4:]
@@ -178,7 +271,11 @@ func decodeSegment(file string, buf []byte) (*segData, zone, error) {
 		MaxTID:  int32(binary.LittleEndian.Uint32(buf[36:])),
 		IPBloom: binary.LittleEndian.Uint64(buf[40:]),
 	}
-	p := segHeaderLen
+	if rows < 0 || nIPs < 0 || rows > len(body) || nIPs > len(body) {
+		// Bound the allocations below by the file size: a column can
+		// never hold more entries than the file has bytes.
+		return fail(fmt.Sprintf("implausible counts (rows %d, ips %d in %d bytes)", rows, nIPs, len(buf)))
+	}
 	d := &segData{
 		ips:   make([]string, nIPs),
 		tids:  make([]int32, rows),
@@ -186,21 +283,37 @@ func decodeSegment(file string, buf []byte) (*segData, zone, error) {
 		atNs:  make([]int64, rows),
 		seed:  make([]uint64, (rows+63)/64),
 	}
+	var err error
+	if magic == segMagic {
+		err = decodeColumnsV1(d, body, nIPs)
+	} else {
+		err = decodeColumnsV2(d, body, nIPs)
+	}
+	if err != nil {
+		return fail(err.Error())
+	}
+	return d, z, nil
+}
+
+// decodeColumnsV1 parses the fixed-width column area after the header.
+func decodeColumnsV1(d *segData, body []byte, nIPs int) error {
+	p := segHeaderLen
 	for i := 0; i < nIPs; i++ {
 		if p+4 > len(body) {
-			return fail("truncated IP table")
+			return fmt.Errorf("truncated IP table")
 		}
 		l := int(binary.LittleEndian.Uint32(body[p:]))
 		p += 4
 		if l < 0 || p+l > len(body) {
-			return fail("IP string overruns file")
+			return fmt.Errorf("IP string overruns file")
 		}
 		d.ips[i] = string(body[p : p+l])
 		p += l
 	}
+	rows := len(d.tids)
 	need := 16*rows + 8*len(d.seed)
 	if p+need != len(body) {
-		return fail(fmt.Sprintf("column area is %d bytes, want %d", len(body)-p, need))
+		return fmt.Errorf("column area is %d bytes, want %d", len(body)-p, need)
 	}
 	for i := range d.tids {
 		d.tids[i] = int32(binary.LittleEndian.Uint32(body[p:]))
@@ -210,7 +323,7 @@ func decodeSegment(file string, buf []byte) (*segData, zone, error) {
 		idx := binary.LittleEndian.Uint32(body[p:])
 		p += 4
 		if int(idx) >= nIPs {
-			return fail(fmt.Sprintf("row %d references IP index %d of %d", i, idx, nIPs))
+			return fmt.Errorf("row %d references IP index %d of %d", i, idx, nIPs)
 		}
 		d.ipIdx[i] = idx
 	}
@@ -222,5 +335,91 @@ func decodeSegment(file string, buf []byte) (*segData, zone, error) {
 		d.seed[i] = binary.LittleEndian.Uint64(body[p:])
 		p += 8
 	}
-	return d, z, nil
+	return nil
+}
+
+// decodeColumnsV2 parses the compressed column area after the header.
+func decodeColumnsV2(d *segData, body []byte, nIPs int) error {
+	p := segHeaderLen
+	uv := func() (uint64, error) {
+		v, sz := binary.Uvarint(body[p:])
+		if sz <= 0 {
+			return 0, fmt.Errorf("truncated varint at offset %d", p)
+		}
+		p += sz
+		return v, nil
+	}
+	sv := func() (int64, error) {
+		v, sz := binary.Varint(body[p:])
+		if sz <= 0 {
+			return 0, fmt.Errorf("truncated varint at offset %d", p)
+		}
+		p += sz
+		return v, nil
+	}
+	us, err := uv()
+	if err != nil {
+		return err
+	}
+	if us == 0 || us > math.MaxInt64 {
+		return fmt.Errorf("bad timestamp scale %d", us)
+	}
+	scale := int64(us)
+	for i := 0; i < nIPs; i++ {
+		l, err := uv()
+		if err != nil {
+			return err
+		}
+		if l > uint64(len(body)-p) {
+			return fmt.Errorf("IP string overruns file")
+		}
+		d.ips[i] = string(body[p : p+int(l)])
+		p += int(l)
+	}
+	var prevT int64
+	for i := range d.tids {
+		dv, err := sv()
+		if err != nil {
+			return err
+		}
+		prevT += dv
+		if prevT < math.MinInt32 || prevT > math.MaxInt32 {
+			return fmt.Errorf("row %d torrent ID %d out of range", i, prevT)
+		}
+		d.tids[i] = int32(prevT)
+	}
+	for i := range d.ipIdx {
+		idx, err := uv()
+		if err != nil {
+			return err
+		}
+		if idx >= uint64(nIPs) {
+			return fmt.Errorf("row %d references IP index %d of %d", i, idx, nIPs)
+		}
+		d.ipIdx[i] = uint32(idx)
+	}
+	if len(d.atNs) > 0 {
+		first, err := sv()
+		if err != nil {
+			return err
+		}
+		d.atNs[0] = first
+		prev := first
+		for i := 1; i < len(d.atNs); i++ {
+			dv, err := sv()
+			if err != nil {
+				return err
+			}
+			prev += dv * scale
+			d.atNs[i] = prev
+		}
+	}
+	if len(body)-p != 8*len(d.seed) {
+		return fmt.Errorf("seeder area is %d bytes, want %d", len(body)-p, 8*len(d.seed))
+	}
+	for i := range d.seed {
+		d.seed[i] = binary.LittleEndian.Uint64(body[p:])
+		p += 8
+	}
+	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"btpub/internal/dataset"
 	"btpub/internal/lake"
 	"btpub/internal/lakeserve"
 	"btpub/internal/query"
@@ -241,4 +242,93 @@ func TestQueryBodyTooLarge(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkEnvelope(t, resp, http.StatusRequestEntityTooLarge, "body_too_large")
+}
+
+// TestQueryAsOfAndJournalStats: the wire-level time-travel contract. A
+// query pinned to the journal head equals the unpinned result; after
+// more observations commit, the pinned replay still returns the old
+// bytes while unpinned moves on; an unserveable version is a 400
+// bad_query envelope; and /api/v1/stats exposes the journal's head,
+// checkpoint, commit count and on-disk footprint.
+func TestQueryAsOfAndJournalStats(t *testing.T) {
+	lk := seedLake(t, lake.Options{})
+	srv := newServer(t, lk)
+
+	q := query.Query{
+		GroupBy: query.GroupBy{Key: query.ByPublisher},
+		Aggs:    []string{query.AggObservations, query.AggDistinctIPs},
+		OrderBy: query.OrderBy{Field: query.AggObservations, Desc: true},
+	}
+	before := postQuery(t, srv.URL, q)
+	pin := lk.Version()
+	qPin := q
+	qPin.Filter.AsOf = pin
+	if got, want := mustMarshal(t, postQuery(t, srv.URL, qPin)), mustMarshal(t, before); got != want {
+		t.Fatalf("as_of head != unpinned:\n%s\n%s", got, want)
+	}
+
+	// Commit more observations for an existing publisher's torrent.
+	for i := 0; i < 50; i++ {
+		if err := lk.Append(dataset.Observation{
+			TorrentID: 0, IP: fmt.Sprintf("30.0.0.%d", i%250),
+			At: serveT0.Add(72*time.Hour + time.Duration(i)*time.Minute),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lk.Version() <= pin {
+		t.Fatalf("flush did not commit (version still %d)", pin)
+	}
+
+	if got, want := mustMarshal(t, postQuery(t, srv.URL, qPin)), mustMarshal(t, before); got != want {
+		t.Fatalf("pinned result drifted after new commits:\n%s\n%s", got, want)
+	}
+	if got := mustMarshal(t, postQuery(t, srv.URL, q)); got == mustMarshal(t, before) {
+		t.Fatal("unpinned result ignored the new commits")
+	}
+
+	// A version past the head is the client's error, not the server's.
+	qBad := q
+	qBad.Filter.AsOf = lk.Version() + 100
+	body, err := json.Marshal(qBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, resp, http.StatusBadRequest, "bad_query")
+
+	// The stats document carries the journal fields.
+	sresp, err := http.Get(srv.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st lakeserve.StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Lake.Version != lk.Version() {
+		t.Fatalf("stats version %d, lake head %d", st.Lake.Version, lk.Version())
+	}
+	if st.Lake.Commits <= 0 || st.Lake.TotalBytes <= 0 {
+		t.Fatalf("journal stats missing: %+v", st.Lake)
+	}
+	if st.Lake.CheckpointVersion > st.Lake.Version {
+		t.Fatalf("checkpoint v%d ahead of head v%d", st.Lake.CheckpointVersion, st.Lake.Version)
+	}
+}
+
+func mustMarshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

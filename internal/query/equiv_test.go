@@ -3,6 +3,7 @@ package query_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -326,6 +327,96 @@ func TestExecutorEquivalenceCursorWalk(t *testing.T) {
 		if page > 100 {
 			t.Fatal("cursor walk did not terminate")
 		}
+	}
+}
+
+// TestExecutorEquivalenceAsOf pins a query to the journal head version,
+// then keeps appending and committing new observations while replaying
+// the pinned query: every replay must be byte-identical to the result
+// captured before the writes started, as_of head must equal unpinned,
+// and the in-memory executor must reject pinning outright.
+func TestExecutorEquivalenceAsOf(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	q := query.Query{
+		GroupBy: query.GroupBy{Key: query.ByPublisher},
+		Aggs:    []string{query.AggObservations, query.AggDistinctIPs, query.AggSeeders},
+		OrderBy: query.OrderBy{Field: query.AggObservations, Desc: true},
+	}
+	want := mustJSON(t, exec(t, f.lkx, ctx, q))
+
+	pin := f.lk.Version()
+	qPin := q
+	qPin.Filter.AsOf = pin
+	if got := mustJSON(t, exec(t, f.lkx, ctx, qPin)); got != want {
+		t.Fatalf("as_of head diverges from unpinned:\nunpinned: %.2000s\npinned:   %.2000s", want, got)
+	}
+
+	// The in-memory executor has no history to pin.
+	var qe *query.Error
+	if _, err := f.mem.Execute(ctx, qPin); !errors.As(err, &qe) || qe.Code != "bad_query" {
+		t.Fatalf("memory executor accepted as_of: %v", err)
+	}
+	// Nor can the lake serve a version that does not exist yet.
+	qFuture := q
+	qFuture.Filter.AsOf = pin + 1_000
+	if _, err := f.lkx.Execute(ctx, qFuture); !errors.As(err, &qe) || qe.Code != "bad_query" {
+		t.Fatalf("future as_of not rejected as bad_query: %v", err)
+	}
+
+	// A writer commits new observations under the replaying queries. The
+	// rows reuse committed torrent IDs, so unpinned results genuinely
+	// change while the pinned ones must not.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		at := f.ds.End
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at = at.Add(time.Second)
+			if err := f.lk.Append(dataset.Observation{
+				TorrentID: f.ds.Obs.TorrentID(0),
+				IP:        fmt.Sprintf("192.0.2.%d", i%250),
+				At:        at,
+				Seeder:    true,
+			}); err != nil {
+				t.Errorf("writer append: %v", err)
+				return
+			}
+			if i%512 == 511 {
+				if err := f.lk.Flush(); err != nil {
+					t.Errorf("writer flush: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for iter := 0; iter < 10; iter++ {
+		for _, le := range f.lakeExecutors() {
+			if got := mustJSON(t, exec(t, le.ex, ctx, qPin)); got != want {
+				t.Errorf("iter %d: pinned %s drifted under concurrent ingest", iter, le.name)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := f.lk.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if f.lk.Version() <= pin {
+		t.Fatalf("writer committed nothing (version still %d) — the replay loop pinned nothing real", pin)
+	}
+	if got := mustJSON(t, exec(t, f.lkx, ctx, qPin)); got != want {
+		t.Fatal("pinned result drifted after the writer finished")
+	}
+	if got := mustJSON(t, exec(t, f.lkx, ctx, q)); got == want {
+		t.Fatal("unpinned result did not change — the writer's commits are invisible")
 	}
 }
 

@@ -120,7 +120,7 @@ func (e *Lake) Execute(ctx context.Context, q Query) (*Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, mapLakeErr(err)
 	}
 	root := parts[0]
 	for _, o := range parts[1:] {
@@ -166,7 +166,10 @@ func (e *Lake) Explain(ctx context.Context, q Query) (*Explain, error) {
 		return nil, err
 	}
 	pred := compilePred(p, recs)
-	sp := e.lk.PlanScan(pred)
+	sp, err := e.lk.PlanScan(pred)
+	if err != nil {
+		return nil, mapLakeErr(err)
+	}
 	ex := &Explain{
 		Workers:            e.resolveWorkers(),
 		Predicates:         sp.Predicates,
@@ -198,11 +201,30 @@ func (e *Lake) prepare(q Query) (*plan, []*dataset.TorrentRecord, error) {
 	var recs []*dataset.TorrentRecord
 	if p.needsMeta() {
 		var err error
-		if recs, err = e.meta.get(); err != nil {
-			return nil, nil, err
+		if q.Filter.AsOf != 0 {
+			// A pinned query must resolve publishers against the metadata
+			// committed at that version, not today's; the per-head-version
+			// cache cannot serve it.
+			recs, _, err = e.lk.TorrentRecordsAsOf(q.Filter.AsOf)
+		} else {
+			recs, err = e.meta.get()
+		}
+		if err != nil {
+			return nil, nil, mapLakeErr(err)
 		}
 	}
 	return p, recs, nil
+}
+
+// mapLakeErr converts a pinned-version failure into a *Error, so the
+// HTTP layer answers 400 (the client named a version the lake cannot
+// serve) instead of 500.
+func mapLakeErr(err error) error {
+	var vu *lake.VersionUnavailableError
+	if errors.As(err, &vu) {
+		return badf("bad_query", "filter.as_of: %v", vu)
+	}
+	return err
 }
 
 // compilePred lowers the plan's filter into the lake predicate the scan
@@ -211,6 +233,7 @@ func compilePred(p *plan, recs []*dataset.TorrentRecord) lake.Predicate {
 	pred := lake.Predicate{
 		SeedersOnly: p.q.Filter.SeedersOnly,
 		IPs:         p.q.Filter.IPs,
+		AsOf:        p.q.Filter.AsOf,
 	}
 	if !p.q.Filter.MinTime.IsZero() {
 		pred.MinTime = p.q.Filter.MinTime

@@ -33,6 +33,10 @@ const checkEvery = 1 << 16
 
 // Execute answers one query.
 func (m *Memory) Execute(ctx context.Context, q Query) (*Result, error) {
+	if q.Filter.AsOf != 0 {
+		// A dataset is one snapshot; there is no version history to pin.
+		return nil, badf("bad_query", "filter.as_of requires a lake-backed executor")
+	}
 	p, perr := newPlan(q)
 	if perr != nil {
 		return nil, perr

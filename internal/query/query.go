@@ -124,6 +124,11 @@ type Filter struct {
 	Countries []string `json:"countries,omitempty"`
 	// SeedersOnly keeps only seeder sightings.
 	SeedersOnly bool `json:"seeders_only,omitempty"`
+	// AsOf pins the query to the lake state committed at this journal
+	// version (0 = current head), so the same query replays
+	// byte-identically while ingest continues. Lake executor only; the
+	// in-memory executor has no version history and rejects it.
+	AsOf uint64 `json:"as_of,omitempty"`
 }
 
 // GroupBy names the grouping dimension. The zero value groups everything

@@ -235,6 +235,23 @@ func (f *FS) Create(name string) (vfs.File, error) {
 	return &handle{fs: f, f: fl}, nil
 }
 
+// Append opens name at its current end (creating it empty when absent).
+// Like Create, the open itself is journaled metadata — durable when it
+// returns — while appended bytes only survive a crash once synced.
+func (f *FS) Append(name string) (vfs.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.step(); err != nil {
+		return nil, err
+	}
+	fl, ok := f.files[name]
+	if !ok {
+		fl = &file{}
+		f.files[name] = fl
+	}
+	return &handle{fs: f, f: fl}, nil
+}
+
 func (f *FS) ReadFile(name string) ([]byte, error) {
 	f.mu.Lock()
 	if f.gate != nil {

@@ -19,8 +19,8 @@ import (
 )
 
 // File is an open, writable file. The lake's write protocol is always
-// create → write → sync → close; there is no seek and no read-back
-// through the handle.
+// create (or append) → write → sync → close; there is no seek and no
+// read-back through the handle.
 type File interface {
 	Write(p []byte) (int, error)
 	// Sync flushes written data to stable storage. Data not synced when
@@ -36,6 +36,10 @@ type FS interface {
 	MkdirAll() error
 	// Create opens name for writing, truncating any previous contents.
 	Create(name string) (File, error)
+	// Append opens name for writing at its current end, creating it
+	// empty when absent. The commit-journal write path: one record is
+	// appended, synced and the handle closed.
+	Append(name string) (File, error)
 	// ReadFile returns the full contents of name.
 	ReadFile(name string) ([]byte, error)
 	// Size returns name's current length in bytes.
@@ -60,6 +64,10 @@ func (o osFS) MkdirAll() error { return os.MkdirAll(o.dir, 0o755) }
 
 func (o osFS) Create(name string) (File, error) {
 	return os.Create(filepath.Join(o.dir, name))
+}
+
+func (o osFS) Append(name string) (File, error) {
+	return os.OpenFile(filepath.Join(o.dir, name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 }
 
 func (o osFS) ReadFile(name string) ([]byte, error) {

@@ -54,6 +54,42 @@ func BenchmarkLakeIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkLakeScanCompressed measures full-scan decode throughput over
+// a 1M-observation lake of v2 compressed segments: one op scans every
+// row of every segment. The lake's total on-disk footprint (segments +
+// microindexes + journal) is reported as the disk-bytes metric, so
+// BENCH_lake_<date>.json records the compression trajectory alongside
+// the scan cost.
+func BenchmarkLakeScanCompressed(b *testing.B) {
+	ds := lakeBenchDataset(200, 5_000) // 1M observations
+	lk, err := lake.Open(filepath.Join(b.TempDir(), "lake"), lake.Options{FlushRows: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lk.Close()
+	if err := lk.ImportDataset(ds); err != nil {
+		b.Fatal(err)
+	}
+	rows := int64(ds.NumObservations())
+	b.SetBytes(rows)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := int64(0)
+		err := lk.Scan(ctx, lake.Predicate{}, func(batch *lake.Batch) error {
+			n += int64(batch.Len())
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != rows {
+			b.Fatalf("scan saw %d rows, want %d", n, rows)
+		}
+	}
+	b.ReportMetric(float64(lk.Stats().TotalBytes), "disk-bytes")
+}
+
 // BenchmarkLakeScan measures predicate-scan latency over a committed
 // multi-segment lake: one op scans a time+torrent pushdown window (zone
 // maps prune most segments) and counts the matches.
