@@ -16,10 +16,25 @@ QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory|BenchmarkQueryPointLookup
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: test test-faults bench bench-campaign bench-lake bench-query bench-smoke fmt vet
+.PHONY: test test-faults bench bench-campaign bench-lake bench-query bench-smoke fmt vet lint lint-debt
 
 test:
 	go build ./... && go test ./...
+
+# The full static gate, same as the CI lint job: formatting, the
+# standard vet suite, then the repo's own analyzers (internal/lint via
+# cmd/btpub-vet) with the checked-in allowlist applied. btpub-vet exits
+# non-zero on any unsuppressed finding AND on any stale allowlist entry,
+# so grandfathered debt cannot outlive the code it excused.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/btpub-vet ./...
+
+# The nightly debt report: every finding, allowlist ignored. Always
+# exits 0 — it measures the debt, the allowlist gate above polices it.
+lint-debt:
+	go run ./cmd/btpub-vet -noallow ./... || true
 
 # Exhaustive kill-point torture: replay the lake workload with a crash
 # (clean and torn-write) injected at EVERY filesystem operation, plus the

@@ -87,7 +87,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
 }
 

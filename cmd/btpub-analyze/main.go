@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -51,6 +52,8 @@ func (patternInspector) Inspect(url string) (population.BusinessType, string, er
 }
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btpub-analyze: ")
 	in := flag.String("in", "pb10.jsonl", "dataset path (JSONL)")
 	lakeDir := flag.String("lake", "", "analyze this lake directory instead of -in")
 	imp := flag.String("import", "", "import -in into this lake directory, then analyze from the lake")
@@ -60,12 +63,13 @@ func main() {
 	n := flag.Int("n", 10, "Table 2 row count (with -remote)")
 	timeout := flag.Duration("timeout", 0, "per-request HTTP timeout for -remote (0 = client default, negative = none)")
 	flag.Parse()
+	ctx := context.Background()
 
 	if *remote != "" {
 		if *lakeDir != "" || *imp != "" {
 			log.Fatal("-remote is mutually exclusive with -lake and -import")
 		}
-		if err := runRemote(*remote, *n, *timeout); err != nil {
+		if err := runRemote(ctx, *remote, *n, *timeout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -75,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ds, err := loadDataset(*in, *lakeDir, *imp)
+	ds, err := loadDataset(ctx, *in, *lakeDir, *imp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,17 +111,14 @@ func main() {
 		fmt.Println(analysis.RenderLongitudinal(name, long))
 	}
 	fmt.Println(analysis.RenderHostingIncome(name, a.HostingIncomeFor(geoip.OVH)))
-
-	_ = time.Now
 }
 
 // runRemote renders the server-side tables: the exact text a local
 // analysis would print, but produced by the running btpub-serve from its
 // cached snapshot — no dataset ever leaves the server.
-func runRemote(base string, n int, timeout time.Duration) error {
+func runRemote(ctx context.Context, base string, n int, timeout time.Duration) error {
 	c := apiclient.New(base)
 	c.Timeout = timeout
-	ctx := context.Background()
 	st, err := c.Stats(ctx)
 	if err != nil {
 		return err
@@ -145,17 +146,22 @@ func runRemote(base string, n int, timeout time.Duration) error {
 // loadDataset resolves the three input modes: plain JSONL, lake, or the
 // JSONL→lake migration path (-import), which round-trips through the
 // lake so the printed tables prove the migrated archive is intact.
-func loadDataset(in, lakeDir, imp string) (*dataset.Dataset, error) {
+func loadDataset(ctx context.Context, in, lakeDir, imp string) (*dataset.Dataset, error) {
 	switch {
 	case lakeDir != "" && imp != "":
 		return nil, fmt.Errorf("-lake and -import are mutually exclusive")
 	case lakeDir != "":
+		// Read-only mode: opening a missing directory would create an
+		// empty lake and analyze zero observations without complaint.
+		if fi, err := os.Stat(lakeDir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("-lake %q: no such lake directory", lakeDir)
+		}
 		lk, err := lake.Open(lakeDir, lake.Options{})
 		if err != nil {
 			return nil, err
 		}
 		defer lk.Close()
-		return lk.Materialize(context.Background(), lake.Predicate{})
+		return lk.Materialize(ctx, lake.Predicate{})
 	case imp != "":
 		ds, err := dataset.Load(in)
 		if err != nil {
@@ -172,7 +178,7 @@ func loadDataset(in, lakeDir, imp string) (*dataset.Dataset, error) {
 		st := lk.Stats()
 		log.Printf("imported %s into lake %s: v%d, %d segments, %d observations, %d torrents total",
 			in, imp, st.Version, st.Segments, st.Observations, st.Torrents)
-		return lk.Materialize(context.Background(), lake.Predicate{})
+		return lk.Materialize(ctx, lake.Predicate{})
 	default:
 		return dataset.Load(in)
 	}

@@ -18,6 +18,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btpub-crawl: ")
 	scale := flag.Float64("scale", 0.02, "world scale (1.0 = full pb10)")
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	md := flag.Float64("mean-downloads", 250, "mean downloader arrivals per torrent")

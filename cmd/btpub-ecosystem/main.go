@@ -21,6 +21,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btpub-ecosystem: ")
 	scale := flag.Float64("scale", 0.01, "world scale (1.0 = full pb10)")
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	md := flag.Float64("mean-downloads", 250, "mean downloader arrivals per torrent")

@@ -20,6 +20,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btpub-monitor: ")
 	scale := flag.Float64("scale", 0.01, "world scale for the monitored campaign")
 	seed := flag.Uint64("seed", 1, "scenario seed")
 	addr := flag.String("http", "127.0.0.1:8812", "query interface address")

@@ -40,6 +40,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btpub-query: ")
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}
@@ -72,6 +74,13 @@ func run() error {
 
 	if (*lakeDir == "") == (*remote == "") {
 		return fmt.Errorf("exactly one of -lake or -remote is required")
+	}
+	// Queries are read-only: opening a missing directory would create an
+	// empty lake and every query would "succeed" with zero rows.
+	if *lakeDir != "" {
+		if fi, err := os.Stat(*lakeDir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("-lake %q: no such lake directory", *lakeDir)
+		}
 	}
 
 	q := query.Query{

@@ -49,6 +49,8 @@ import (
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("btpub-serve: ")
 	if err := run(); err != nil {
 		log.Fatal(err)
 	}

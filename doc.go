@@ -245,9 +245,34 @@
 // whole loop end to end, including over the /publishers/classified and
 // /fakes endpoints.
 //
+// # Static analysis: the btpub-vet suite
+//
+// internal/lint mechanizes the repo's conventions as five custom
+// analyzers over the type-checked AST, built on the standard library
+// alone (go/ast + go/types, with export data from `go list -export`):
+// vfsonly (internal/lake must reach the filesystem only through the
+// vfs.FS seam, or the faultfs kill-point torture can't inject faults
+// into the call), determinism (no time.Now/Since/Until, no
+// math/rand{,/v2} imports, and no map-iteration-ordered output in the
+// simulation packages — use the simclock.Clock and rng.Labeled seams
+// that make sharded campaigns byte-identical), nobgctx (no
+// context.Background/TODO outside main/run in package main), envelope
+// (lakeserve handlers write error statuses only through the envelope
+// helpers), and errfmtverb (fmt.Errorf wraps error operands with %w).
+// cmd/btpub-vet drives them standalone (what `make lint` runs) and as
+// a `go vet -vettool` unitchecker. Deliberate exceptions — the
+// crawler's RealDriver wall clock for network mode, lifecycle root
+// contexts — are grandfathered in ci/lint-allow.txt with a mandatory
+// reason per line; a stale entry (its finding fixed) itself fails the
+// run, so the debt list only shrinks, and the nightly lint-debt job
+// publishes the unfiltered report. Fixture packages under
+// internal/lint/testdata/src pin each analyzer's violation/legal
+// boundary, and TestTreeCompliance keeps the whole module clean.
+//
 // The tier-1 gate is `go build ./... && go test ./...`. CI
 // (.github/workflows/ci.yml) stages the rest behind a fast lint job
-// (gofmt, build, vet — with the Go build cache restored per job), so
+// (gofmt, build, vet, btpub-vet — with the Go build cache restored per
+// job), so
 // cheap failures never cost a race run: the test job runs the race
 // detector (including the lake's reader-during-compaction tests, the
 // sampled kill-point torture and the parallel-executor equivalence

@@ -142,12 +142,19 @@ type Result struct {
 
 // Run executes the campaign: generate the world, stand up the ecosystem,
 // crawl it for the whole campaign window plus drain, run the final sweep,
-// and return the merged dataset.
+// and return the merged dataset. It is the synchronous entry point; use
+// RunContext to make the enrichment sweep cancellable.
 func Run(spec Spec) (*Result, error) {
-	return runBudgeted(spec, nil)
+	return RunContext(context.Background(), spec)
 }
 
-func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
+// RunContext is Run with a caller-owned context threaded through to the
+// post-campaign enrichment sweep.
+func RunContext(ctx context.Context, spec Spec) (*Result, error) {
+	return runBudgeted(ctx, spec, nil)
+}
+
+func runBudgeted(ctx context.Context, spec Spec, budget chan struct{}) (*Result, error) {
 	if spec.Scale <= 0 {
 		return nil, errors.New("campaign: Scale must be positive")
 	}
@@ -158,7 +165,11 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 	if shards <= 0 {
 		shards = 1
 	}
-	start := time.Now()
+	// Result.Elapsed is wall-clock telemetry, read through the explicit
+	// Real seam rather than time.Now so the determinism analyzer can hold
+	// the rest of the package to sim time.
+	wall := simclock.Real{}
+	start := wall.Now()
 
 	acquire := func() {
 		if budget != nil {
@@ -218,7 +229,7 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 			defer wg.Done()
 			acquire()
 			defer release()
-			eco, cr, ds, err := runShard(spec, world, db, params.Seed, consumption, i, shards, end, name, stream)
+			eco, cr, ds, err := runShard(ctx, spec, world, db, params.Seed, consumption, i, shards, end, name, stream)
 			runs[i] = ShardRun{Index: i, Eco: eco, Crawler: cr}
 			parts[i], errs[i] = ds, err
 		}(i)
@@ -246,7 +257,7 @@ func runBudgeted(spec Spec, budget chan struct{}) (*Result, error) {
 		Eco:     runs[0].Eco,
 		Crawler: runs[0].Crawler,
 		DB:      db,
-		Elapsed: time.Since(start),
+		Elapsed: wall.Now().Sub(start),
 	}, nil
 }
 
@@ -309,7 +320,7 @@ func persistToLake(lk *lake.Lake, stream *lakeStream, raw, merged *dataset.Datas
 
 // runShard stands up one shard's ecosystem, replays the campaign window on
 // the shard's private sim clock, and returns the shard dataset.
-func runShard(spec Spec, world *population.World, db *geoip.DB, seed uint64, consumption map[int][]ecosystem.ConsumptionEvent, index, count int, end time.Time, name string, stream *lakeStream) (*ecosystem.Ecosystem, *crawler.Crawler, *dataset.Dataset, error) {
+func runShard(ctx context.Context, spec Spec, world *population.World, db *geoip.DB, seed uint64, consumption map[int][]ecosystem.ConsumptionEvent, index, count int, end time.Time, name string, stream *lakeStream) (*ecosystem.Ecosystem, *crawler.Crawler, *dataset.Dataset, error) {
 	clock := simclock.NewSim(world.Start)
 	eco, err := ecosystem.New(ecosystem.Config{
 		World:       world,
@@ -363,7 +374,7 @@ func runShard(spec Spec, world *population.World, db *geoip.DB, seed uint64, con
 	clock.AdvanceTo(end.Add(time.Hour))
 
 	// Post-campaign enrichment: page re-checks and user pages.
-	if err := cr.FinalSweep(context.Background(), func(rec *dataset.TorrentRecord) string {
+	if err := cr.FinalSweep(ctx, func(rec *dataset.TorrentRecord) string {
 		return "http://portal.sim/page/" + rec.InfoHash
 	}); err != nil {
 		return nil, nil, nil, err
@@ -404,7 +415,7 @@ func RunMany(specs []Spec, budget int) []SweepResult {
 		wg.Add(1)
 		go func(i int, spec Spec) {
 			defer wg.Done()
-			res, err := runBudgeted(spec, sem)
+			res, err := runBudgeted(context.Background(), spec, sem)
 			out[i] = SweepResult{Spec: spec, Result: res, Err: err}
 		}(i, spec)
 	}

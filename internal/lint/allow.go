@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// AllowEntry grandfathers every finding of one analyzer in one file.
+type AllowEntry struct {
+	// Path is the file, slash-separated and relative to the module root
+	// (e.g. internal/crawler/inprocess.go).
+	Path string
+	// Analyzer names the suppressed analyzer.
+	Analyzer string
+	// Reason is the mandatory justification after " # ".
+	Reason string
+	// Line is the 1-based line in the allowlist file.
+	Line int
+
+	used bool
+}
+
+// Allowlist is a parsed ci/lint-allow.txt.
+type Allowlist struct {
+	File    string
+	Entries []*AllowEntry
+}
+
+// ParseAllowlist reads an allowlist: one `path:analyzer # reason` per
+// line, '#'-led lines and blanks ignored. Unknown analyzers, missing
+// reasons and duplicate entries are hard errors — a typo here would
+// silently suppress nothing (or everything).
+func ParseAllowlist(file string) (*Allowlist, error) {
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	al := &Allowlist{File: file}
+	seen := map[string]int{}
+	for i, line := range strings.Split(string(buf), "\n") {
+		no := i + 1
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		pattern, reason, ok := strings.Cut(line, "#")
+		if !ok || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry needs a `# reason`", file, no)
+		}
+		pattern = strings.TrimSpace(pattern)
+		path, analyzer, ok := strings.Cut(pattern, ":")
+		if !ok || path == "" || analyzer == "" {
+			return nil, fmt.Errorf("%s:%d: want `path:analyzer # reason`, got %q", file, no, line)
+		}
+		if ByName(analyzer) == nil {
+			return nil, fmt.Errorf("%s:%d: unknown analyzer %q", file, no, analyzer)
+		}
+		if filepath.IsAbs(path) || strings.Contains(path, `\`) {
+			return nil, fmt.Errorf("%s:%d: path must be slash-separated and module-relative, got %q", file, no, path)
+		}
+		if prev, dup := seen[pattern]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate of line %d", file, no, prev)
+		}
+		seen[pattern] = no
+		al.Entries = append(al.Entries, &AllowEntry{
+			Path: path, Analyzer: analyzer,
+			Reason: strings.TrimSpace(reason), Line: no,
+		})
+	}
+	return al, nil
+}
+
+// Filter drops findings covered by the allowlist and returns the rest.
+// Finding filenames must already be module-relative (slash-separated);
+// matched entries are marked used for the Stale pass.
+func (al *Allowlist) Filter(findings []Finding) []Finding {
+	if al == nil {
+		return findings
+	}
+	var kept []Finding
+	for _, f := range findings {
+		if e := al.match(f); e != nil {
+			e.used = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+func (al *Allowlist) match(f Finding) *AllowEntry {
+	for _, e := range al.Entries {
+		if e.Analyzer == f.Analyzer && e.Path == f.Pos.Filename {
+			return e
+		}
+	}
+	return nil
+}
+
+// Stale returns the entries that matched nothing in the preceding
+// Filter calls even though their file was analyzed: the grandfathered
+// debt they recorded is gone and the entry must go too, or it would
+// mask the next regression in that file. Entries whose file was not
+// part of this run (partial pattern) are not judged.
+func (al *Allowlist) Stale(analyzedFiles map[string]bool) []*AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var stale []*AllowEntry
+	for _, e := range al.Entries {
+		if !e.used && analyzedFiles[e.Path] {
+			stale = append(stale, e)
+		}
+	}
+	return stale
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeAllow(t *testing.T, content string) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "lint-allow.txt")
+	if err := os.WriteFile(f, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func finding(analyzer, file string, line int) Finding {
+	return Finding{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  "msg",
+	}
+}
+
+func TestAllowlistParseErrors(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"missing reason", "internal/lake/lake.go:vfsonly\n", "needs a `# reason`"},
+		{"empty reason", "internal/lake/lake.go:vfsonly #   \n", "needs a `# reason`"},
+		{"unknown analyzer", "internal/lake/lake.go:nosuch # why\n", `unknown analyzer "nosuch"`},
+		{"no analyzer", "internal/lake/lake.go # why\n", "want `path:analyzer # reason`"},
+		{"absolute path", "/internal/lake/lake.go:vfsonly # why\n", "module-relative"},
+		{"duplicate", "a.go:vfsonly # one\na.go:vfsonly # two\n", "duplicate of line 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseAllowlist(writeAllow(t, c.content))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestAllowlistFilterAndStale(t *testing.T) {
+	al, err := ParseAllowlist(writeAllow(t, strings.Join([]string{
+		"# comment line",
+		"",
+		"internal/a/a.go:determinism # wall-clock seam",
+		"internal/b/b.go:nobgctx # lifecycle root",
+		"internal/gone/gone.go:envelope # debt that no longer exists",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(al.Entries))
+	}
+
+	findings := []Finding{
+		finding("determinism", "internal/a/a.go", 10), // suppressed
+		finding("determinism", "internal/a/a.go", 20), // suppressed (same entry)
+		finding("nobgctx", "internal/a/a.go", 30),     // wrong analyzer: kept
+		finding("determinism", "internal/c/c.go", 5),  // wrong file: kept
+	}
+	kept := al.Filter(findings)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Pos.Filename != "internal/a/a.go" || kept[0].Analyzer != "nobgctx" {
+		t.Errorf("kept[0] = %v", kept[0])
+	}
+	if kept[1].Pos.Filename != "internal/c/c.go" {
+		t.Errorf("kept[1] = %v", kept[1])
+	}
+
+	// An entry that suppressed nothing even though its file was analyzed
+	// is stale. b.go was outside this run's patterns, so its unused entry
+	// is not judged.
+	analyzed := map[string]bool{
+		"internal/a/a.go":       true,
+		"internal/c/c.go":       true,
+		"internal/gone/gone.go": true,
+	}
+	stale := al.Stale(analyzed)
+	if len(stale) != 1 || stale[0].Path != "internal/gone/gone.go" {
+		t.Fatalf("stale = %v, want exactly the internal/gone/gone.go entry", stale)
+	}
+}

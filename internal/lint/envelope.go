@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Envelope guards the /api/v1 error contract from PR 5: every 4xx/5xx
+// the server emits carries the one {"error":{code,message}} envelope.
+// Handlers therefore must not call http.Error/http.NotFound or write
+// error status codes themselves — only the designated helpers
+// (writeError and the envelopeWriter middleware) touch WriteHeader.
+var Envelope = &Analyzer{
+	Name:  "envelope",
+	Doc:   "lakeserve handlers emit errors only through the envelope helpers",
+	Scope: []string{"btpub/internal/lakeserve"},
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if envelopeHelper(fd) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch {
+					case isPkgFunc(p.Info, call, "net/http", "Error"):
+						p.Reportf(call.Pos(), "http.Error bypasses the error envelope; use writeError/fail")
+					case isPkgFunc(p.Info, call, "net/http", "NotFound"):
+						p.Reportf(call.Pos(), "http.NotFound bypasses the error envelope; use writeError/fail")
+					default:
+						checkWriteHeader(p, call)
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// envelopeHelper reports whether the function is one of the designated
+// envelope emitters: the writeError helper or any envelopeWriter
+// method.
+func envelopeHelper(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return fd.Name.Name == "writeError"
+	}
+	return recvTypeName(fd) == "envelopeWriter"
+}
+
+// checkWriteHeader flags WriteHeader calls outside the helpers: a
+// constant status >= 400 is a definite envelope bypass, a non-constant
+// status could be one, and both belong in the helpers.
+func checkWriteHeader(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if code, exact := constant.Int64Val(tv.Value); exact && code < 400 {
+			return // explicit 2xx/3xx is not an error path
+		}
+		p.Reportf(call.Pos(), "direct WriteHeader with an error status bypasses the envelope; use writeError/fail")
+		return
+	}
+	p.Reportf(call.Pos(), "direct WriteHeader with a computed status: error statuses must go through writeError/fail")
+}

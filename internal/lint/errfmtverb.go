@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrFmtVerb guards error-chain integrity: wrapping an error with %v or
+// %s flattens it to text, so errors.Is/As callers downstream (the lake's
+// *CorruptError, the query engine's *VersionUnavailableError → 400
+// mapping, os.IsNotExist checks) silently stop matching. fmt.Errorf
+// must wrap error operands with %w.
+var ErrFmtVerb = &Analyzer{
+	Name: "errfmtverb",
+	Doc:  "fmt.Errorf wraps error operands with %w, not %v/%s",
+	Run: func(p *Pass) {
+		errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+					return true
+				}
+				if !isPkgFunc(p.Info, call, "fmt", "Errorf") {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil || strings.Contains(format, "%[") {
+					// Explicit argument indexes would break the positional
+					// mapping below; nothing in the tree uses them.
+					return true
+				}
+				verbs := formatVerbs(format)
+				for i, verb := range verbs {
+					argIdx := 1 + i
+					if argIdx >= len(call.Args) || verb == 'w' {
+						continue
+					}
+					if verb != 'v' && verb != 's' {
+						continue
+					}
+					tv, ok := p.Info.Types[call.Args[argIdx]]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if types.Implements(tv.Type, errIface) || types.Implements(types.NewPointer(tv.Type), errIface) {
+						p.Reportf(call.Args[argIdx].Pos(), "error operand formatted with %%%c: use %%w so errors.Is/As keep working on the chain", verb)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// formatVerbs returns one verb rune per consumed operand, in order.
+// `*` width/precision arguments consume an operand and appear as '*'.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+	verb:
+		for ; i < len(format); i++ {
+			switch c := format[i]; {
+			case c == '%':
+				break verb // literal %%
+			case c == '*':
+				verbs = append(verbs, '*')
+			case c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' || (c >= '1' && c <= '9'):
+				// flags, width, precision: keep scanning
+			default:
+				verbs = append(verbs, rune(c))
+				break verb
+			}
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader is shared so compiled export data of the standard
+// library is listed once per test process, not once per fixture.
+var fixtureLoader = NewLoader("")
+
+// wantRe matches the golden annotations: a trailing
+//
+//	// want `regexp`
+//
+// on the offending line.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// checkFixture loads one testdata package, runs a single analyzer over
+// it (under a synthetic import path so scoped analyzers apply), and
+// compares the findings line-for-line against the `// want` comments.
+func checkFixture(t *testing.T, a *Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := fixtureLoader.LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.ImportPath = importPath
+	if !a.InScope(importPath) {
+		t.Fatalf("analyzer %s does not apply to %s; fixture would test nothing", a.Name, importPath)
+	}
+
+	got := map[string][]Finding{} // "file:line" -> findings
+	for _, f := range Check(pkg, []*Analyzer{a}) {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		got[key] = append(got[key], f)
+	}
+
+	matched := map[string]bool{}
+	for _, name := range pkg.Filenames {
+		buf, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(buf), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", filepath.Base(name), i+1)
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+			}
+			found := false
+			for _, f := range got[key] {
+				if re.MatchString(f.Message) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: want finding matching %q, got %v", key, m[1], got[key])
+			}
+			matched[key] = true
+		}
+	}
+	for key, fs := range got {
+		if !matched[key] {
+			for _, f := range fs {
+				t.Errorf("%s: unexpected finding: %s", key, f.Message)
+			}
+		}
+	}
+}
+
+func TestVFSOnlyFixture(t *testing.T) {
+	checkFixture(t, VFSOnly, "vfsonly", "btpub/internal/lake/fixture")
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, Determinism, "determinism", "btpub/internal/ecosystem/fixture")
+}
+
+func TestNoBgCtxFixture(t *testing.T) {
+	checkFixture(t, NoBgCtx, "nobgctx", "btpub/internal/lakeserve/fixture")
+}
+
+func TestNoBgCtxMainFixture(t *testing.T) {
+	checkFixture(t, NoBgCtx, "nobgctxmain", "btpub/cmd/fixture")
+}
+
+func TestEnvelopeFixture(t *testing.T) {
+	checkFixture(t, Envelope, "envelope", "btpub/internal/lakeserve/fixture")
+}
+
+func TestErrFmtVerbFixture(t *testing.T) {
+	checkFixture(t, ErrFmtVerb, "errfmtverb", "btpub/internal/lake/fixture")
+}
+
+// TestScope pins the driver-side scoping: a vfsonly finding in a
+// package outside internal/lake would be a false positive, and an
+// out-of-scope analyzer must simply not run.
+func TestScope(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		path     string
+		in       bool
+	}{
+		{VFSOnly, "btpub/internal/lake", true},
+		{VFSOnly, "btpub/internal/lake/journal", true},
+		{VFSOnly, "btpub/internal/lakeserve", false},
+		{VFSOnly, "btpub/internal/vfs/faultfs", false},
+		{Determinism, "btpub/internal/campaign", true},
+		{Determinism, "btpub/internal/crawler", true},
+		{Determinism, "btpub/internal/rng", false},
+		{Determinism, "btpub/internal/simclock", false},
+		{Envelope, "btpub/internal/lakeserve", true},
+		{Envelope, "btpub/internal/lake", false},
+		{NoBgCtx, "btpub/cmd/btpub-serve", true},
+		{ErrFmtVerb, "btpub/internal/bencode", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.InScope(c.path); got != c.in {
+			t.Errorf("%s.InScope(%s) = %v, want %v", c.analyzer.Name, c.path, got, c.in)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NoBgCtx guards the bug class PR 7 fixed in refreshAsync: a background
+// goroutine on context.Background() outlives its owner and keeps
+// running after shutdown. Fresh root contexts belong in main (or its
+// conventional `run` wrapper); everything else should thread a caller's
+// context or derive a lifecycle context that something cancels — and
+// the rare deliberate root carries an allowlist entry saying why.
+var NoBgCtx = &Analyzer{
+	Name: "nobgctx",
+	Doc:  "no context.Background/TODO outside main (and run) in package main",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := ""
+				switch {
+				case isPkgFunc(p.Info, call, "context", "Background"):
+					name = "Background"
+				case isPkgFunc(p.Info, call, "context", "TODO"):
+					name = "TODO"
+				default:
+					return true
+				}
+				if p.Pkg.Name() == "main" {
+					if fd := enclosingFuncDecl(p.Files, call.Pos()); fd != nil && fd.Recv == nil &&
+						(fd.Name.Name == "main" || fd.Name.Name == "run") {
+						return true
+					}
+				}
+				p.Reportf(call.Pos(), "context.%s outside main: thread the caller's context (or a cancellable lifecycle context) instead", name)
+				return true
+			})
+		}
+	},
+}

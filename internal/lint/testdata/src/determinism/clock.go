@@ -1,0 +1,28 @@
+// Fixture for the determinism analyzer's wall-clock rule: reading the
+// machine clock is a finding; taking time from an injected clock seam
+// is the legal pattern.
+package fixture
+
+import "time"
+
+// Clock mirrors simclock.Clock, the seam sim code must read time from.
+type Clock interface {
+	Now() time.Time
+}
+
+func wallClock(deadline time.Time) bool {
+	now := time.Now()             // want `time\.Now in sim code`
+	if time.Since(deadline) > 0 { // want `time\.Since in sim code`
+		return true
+	}
+	_ = time.Until(deadline) // want `time\.Until in sim code`
+	return now.After(deadline)
+}
+
+// simTime is the legal pattern: the clock is injected, durations and
+// explicit instants are fine.
+func simTime(c Clock, deadline time.Time) bool {
+	now := c.Now()
+	grace := 10 * time.Minute
+	return now.Add(grace).After(deadline)
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"math/rand"           // want `import of math/rand in sim code`
+	randv2 "math/rand/v2" // want `import of math/rand/v2 in sim code`
+)
+
+// Stream mirrors the rng.Labeled seam: randomness arrives as derived
+// streams, never from the global generators.
+type Stream interface {
+	Uint64() uint64
+}
+
+func globalRand() int {
+	return rand.Intn(10) + int(randv2.Uint64()%10)
+}
+
+// seamRand is the legal pattern.
+func seamRand(s Stream) uint64 {
+	return s.Uint64()
+}

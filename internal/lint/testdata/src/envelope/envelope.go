@@ -1,0 +1,60 @@
+// Fixture for the envelope analyzer: handlers writing error statuses
+// directly are findings; the designated helpers (writeError and the
+// envelopeWriter middleware) and explicit success statuses are legal.
+package fixture
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError is the designated envelope emitter; its WriteHeader is
+// exempt by name.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// envelopeWriter mirrors the lakeserve middleware; its methods are
+// exempt by receiver type.
+type envelopeWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	if code >= 400 {
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest)  // want `http\.Error bypasses the error envelope`
+	http.NotFound(w, r)                           // want `http\.NotFound bypasses the error envelope`
+	w.WriteHeader(http.StatusInternalServerError) // want `direct WriteHeader with an error status`
+	status := pick(r)
+	w.WriteHeader(status) // want `direct WriteHeader with a computed status`
+}
+
+// handleGood is the legal pattern: success statuses directly, error
+// statuses through the helper.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func pick(r *http.Request) int {
+	if r.URL.Path == "/" {
+		return http.StatusOK
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,40 @@
+// Fixture for the errfmtverb analyzer: error operands stringified with
+// %v/%s are findings (the chain is flattened, errors.Is/As stop
+// matching); %w wrapping is the legal pattern, and non-error operands
+// may use any verb.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CorruptError mirrors the lake's typed errors that must survive
+// wrapping.
+type CorruptError struct{ File string }
+
+func (e *CorruptError) Error() string { return "corrupt: " + e.File }
+
+var errSentinel = errors.New("sentinel")
+
+func flattened(err error, ce *CorruptError, n int) error {
+	if err != nil {
+		return fmt.Errorf("scan: %v", err) // want `error operand formatted with %v`
+	}
+	if ce != nil {
+		return fmt.Errorf("segment %d: %s", n, ce) // want `error operand formatted with %s`
+	}
+	return fmt.Errorf("pad %*d then %v", 8, n, errSentinel) // want `error operand formatted with %v`
+}
+
+// wrapped is the legal pattern: %w keeps the chain intact, and plain
+// values keep their verbs.
+func wrapped(err error, ce *CorruptError, name string, n int) error {
+	if err != nil {
+		return fmt.Errorf("scan %s (attempt %d): %w", name, n, err)
+	}
+	if ce != nil {
+		return fmt.Errorf("segment: %w", ce)
+	}
+	return fmt.Errorf("%s: %d%% done", name, n)
+}

@@ -1,0 +1,31 @@
+// Fixture for the nobgctx analyzer in library code: every fresh root
+// context is a finding; threading the caller's context, or deriving a
+// cancellable lifecycle context from an injected one, is the legal
+// pattern.
+package fixture
+
+import "context"
+
+type store interface {
+	Refresh(ctx context.Context) error
+}
+
+// refreshDetached is the PR 7 bug class: the rebuild outlives whoever
+// asked for it because nothing can cancel the fresh root.
+func refreshDetached(s store) error {
+	go func() {
+		_ = s.Refresh(context.Background()) // want `context\.Background outside main`
+	}()
+	return s.Refresh(context.TODO()) // want `context\.TODO outside main`
+}
+
+// refreshOwned is the legal pattern: the context is the caller's, and
+// background work derives a cancellable child from it.
+func refreshOwned(ctx context.Context, s store) error {
+	bg, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		_ = s.Refresh(bg)
+	}()
+	return s.Refresh(ctx)
+}

@@ -1,0 +1,29 @@
+// Fixture for the nobgctx analyzer in package main: the process
+// entry points main and its conventional run wrapper own fresh root
+// contexts (including inside their function literals); helpers must
+// still take a context from their caller.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	go func() {
+		use(context.Background())
+	}()
+	use(ctx)
+	helper()
+}
+
+func run() error {
+	use(context.Background())
+	return nil
+}
+
+func helper() {
+	use(context.Background()) // want `context\.Background outside main`
+}
+
+func use(ctx context.Context) { _ = ctx }
+
+var _ = run

@@ -1,0 +1,60 @@
+// Fixture for the vfsonly analyzer: direct os filesystem calls are
+// findings; the same operations through an injected FS seam, and os
+// error predicates, are the legal pattern.
+package fixture
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS mirrors the shape of vfs.FS: the seam every lake I/O call must go
+// through so fault injection covers it.
+type FS interface {
+	Create(name string) (*os.File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+func writeDirect(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os\.MkdirAll bypasses vfs\.FS`
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "seg-000001.obs")) // want `direct os\.Create bypasses vfs\.FS`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := os.ReadFile(filepath.Join(dir, "MANIFEST")); err != nil { // want `direct os\.ReadFile bypasses vfs\.FS`
+		return err
+	}
+	if err := os.Rename("a", "b"); err != nil { // want `direct os\.Rename bypasses vfs\.FS`
+		return err
+	}
+	if _, err := os.Stat(dir); err != nil { // want `direct os\.Stat bypasses vfs\.FS`
+		return err
+	}
+	return os.Remove(dir) // want `direct os\.Remove bypasses vfs\.FS`
+}
+
+// writeSeam is the legal pattern: every operation goes through the
+// injected seam, and os is only consulted for error classification.
+func writeSeam(fsys FS, dir string) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := fsys.Create(filepath.Join(dir, "seg-000001.obs"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = fsys.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if os.IsNotExist(err) { // error predicate, not I/O: allowed
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+)
+
+// CheckUnit type-checks one package the way a go vet -vettool
+// invocation describes it: source files plus the import→export-data
+// maps from the vet config. Test files the go command includes in a
+// package unit are analyzed like any other file there; the suite's
+// test exemption comes from the standalone loader, which never lists
+// them.
+func CheckUnit(importPath, dir string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q in vet config", path)
+		}
+		return os.Open(f)
+	}
+	gc := importer.ForCompiler(l.fset, "gc", lookup)
+	l.imp = &exportImporter{l: l, gc: gc}
+
+	parsed, abs, err := l.parse(dir, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	return l.typecheck(importPath, dir, parsed, abs)
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"bytes"
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolProtocol builds cmd/btpub-vet and drives it through the
+// real go command (`go vet -vettool=...`), which speaks the unitchecker
+// protocol: a -V=full version probe, a -flags probe, then one JSON
+// config per package. A clean package must pass; a package with
+// grandfathered debt must fail with the expected diagnostics (the
+// allowlist is standalone-only, so the debt is visible here).
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet in -short mode")
+	}
+	modRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "btpub-vet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/btpub-vet")
+	build.Dir = modRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	vet := func(pattern string) (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, pattern)
+		cmd.Dir = modRoot
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	if out, err := vet("./internal/rng"); err != nil {
+		t.Errorf("go vet on clean package failed: %v\n%s", err, out)
+	}
+
+	out, err := vet("./internal/crawler")
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("go vet on grandfathered package: err = %v, want exit error\n%s", err, out)
+	}
+	for _, want := range []string{
+		"inprocess.go:", "time.Now in sim code", "[determinism]",
+		"crawler.go:", "[nobgctx]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "_test.go:") {
+		t.Errorf("go vet flagged a _test.go file; tests are out of every analyzer's scope:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// vfsBanned are the package-level os functions that touch the
+// filesystem. Error predicates (os.IsNotExist), constants and types are
+// deliberately absent: the invariant is about I/O, not about error
+// classification.
+var vfsBanned = map[string]bool{
+	"Chmod": true, "Chown": true, "Chtimes": true,
+	"Create": true, "CreateTemp": true, "DirFS": true,
+	"Link": true, "Lstat": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Open": true, "OpenFile": true, "OpenRoot": true,
+	"ReadDir": true, "ReadFile": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Stat": true, "Symlink": true, "Truncate": true,
+	"WriteFile": true,
+}
+
+// VFSOnly guards the lake's crash-safety seam: every filesystem
+// operation in internal/lake must go through vfs.FS (lake.Options.FS),
+// or the faultfs kill-point torture silently stops covering it.
+var VFSOnly = &Analyzer{
+	Name:  "vfsonly",
+	Doc:   "lake code must do filesystem I/O through vfs.FS, never os directly",
+	Scope: []string{"btpub/internal/lake"},
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := calleeFunc(p.Info, call); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "os" && vfsBanned[fn.Name()] {
+					p.Reportf(call.Pos(), "direct os.%s bypasses vfs.FS; route it through Options.FS so fault injection covers it", fn.Name())
+				}
+				return true
+			})
+		}
+	},
+}
