@@ -13,10 +13,11 @@ ANALYSIS_BENCH = BenchmarkTable1Datasets|BenchmarkFigure1Skewness|BenchmarkTable
 CAMPAIGN_BENCH = BenchmarkCampaignSerial|BenchmarkCampaignParallel|BenchmarkCampaignAdversarial
 LAKE_BENCH = BenchmarkLakeIngest|BenchmarkLakeScan|BenchmarkLakeScanCompressed
 QUERY_BENCH = BenchmarkQueryLake|BenchmarkQueryMemory|BenchmarkQueryPointLookup
+SERVE_BENCH = BenchmarkSnapshotRefreshFull|BenchmarkSnapshotRefreshIncremental
 
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: test test-faults bench bench-campaign bench-lake bench-query bench-smoke fmt vet lint lint-debt
+.PHONY: test test-faults bench bench-campaign bench-lake bench-query bench-serve bench-smoke fmt vet lint lint-debt
 
 test:
 	go build ./... && go test ./...
@@ -71,10 +72,18 @@ bench-query:
 	go test -run '^$$' -bench '$(QUERY_BENCH)' -benchtime=20x -benchmem -timeout 20m . \
 		| go run ./cmd/benchjson -o BENCH_query_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkQuery'
 
-# One cheap 1x pass of the campaign + lake + query benches with every
-# alloc ceiling enforced, for CI.
+# The serving-tier snapshot refresh benchmarks over a 1M-observation
+# lake: a cold full rebuild vs folding one freshly flushed segment into
+# a warm snapshot. The incremental bench self-enforces the >=10x
+# speedup floor and its alloc ceiling is checked like the others.
+bench-serve:
+	go test -run '^$$' -bench '$(SERVE_BENCH)' -benchtime=10x -benchmem -timeout 20m . \
+		| go run ./cmd/benchjson -o BENCH_serve_$(BENCH_DATE).json -ceilings ci/bench-ceilings.txt -only '^BenchmarkSnapshot'
+
+# One cheap 1x pass of the campaign + lake + query + serve benches with
+# every alloc ceiling enforced, for CI.
 bench-smoke:
-	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)|$(LAKE_BENCH)|$(QUERY_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
+	go test -run '^$$' -bench '$(CAMPAIGN_BENCH)|$(LAKE_BENCH)|$(QUERY_BENCH)|$(SERVE_BENCH)' -benchtime=1x -benchmem -timeout 25m . \
 		| go run ./cmd/benchjson -ceilings ci/bench-ceilings.txt
 
 fmt:

@@ -19,6 +19,9 @@
 //
 //	# page through a big result
 //	btpub-query -lake pb10.lake -group torrent -aggs max-swarm -limit 1000 -cursor <tok>
+//
+//	# tail the fake/scam alert feed from a server
+//	btpub-query -remote http://127.0.0.1:8813 -alerts -since 42 -wait 25s
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -67,6 +71,9 @@ func run() error {
 	desc := flag.Bool("desc", false, "descending order")
 	limit := flag.Int("limit", 0, "row limit (0 = all); a truncated result prints a next cursor")
 	cursor := flag.String("cursor", "", "resume a paginated walk")
+	alerts := flag.Bool("alerts", false, "fetch the fake/scam alert feed instead of running a query (needs -remote)")
+	since := flag.Uint64("since", 0, "with -alerts: only alerts updated after this version cursor")
+	wait := flag.Duration("wait", 0, "with -alerts: long-poll up to this long for alerts past the cursor")
 	asJSON := flag.Bool("json", false, "print the raw JSON result instead of a table")
 	explain := flag.Bool("explain", false, "print the query plan (predicate order, segment pruning, workers) instead of executing")
 	timeout := flag.Duration("timeout", 0, "per-request HTTP timeout for -remote (0 = client default, negative = none)")
@@ -74,6 +81,12 @@ func run() error {
 
 	if (*lakeDir == "") == (*remote == "") {
 		return fmt.Errorf("exactly one of -lake or -remote is required")
+	}
+	if *alerts {
+		if *remote == "" {
+			return fmt.Errorf("-alerts needs -remote: the alert feed lives on the server")
+		}
+		return fetchAlerts(context.Background(), os.Stdout, *remote, *since, *wait, *timeout, *asJSON)
 	}
 	// Queries are read-only: opening a missing directory would create an
 	// empty lake and every query would "succeed" with zero rows.
@@ -138,6 +151,41 @@ func run() error {
 		return enc.Encode(res)
 	}
 	return render(os.Stdout, q, res)
+}
+
+// fetchAlerts is the -alerts mode: the server's deduplicated alert feed
+// past the -since cursor, optionally long-polling with -wait.
+func fetchAlerts(ctx context.Context, out io.Writer, remote string, since uint64, wait, timeout time.Duration, asJSON bool) error {
+	c := apiclient.New(remote)
+	c.Timeout = timeout
+	if wait > 0 && timeout == 0 && wait+5*time.Second > apiclient.DefaultTimeout {
+		// Keep the HTTP exchange outliving the server-side long poll.
+		c.Timeout = wait + 5*time.Second
+	}
+	feed, err := c.Alerts(ctx, since, wait)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		return enc.Encode(feed)
+	}
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "STATE\tSEVERITY\tRULE\tSUBJECT\tSCORE\tTORRENTS\tIPS\tUPDATED\tREASON")
+	for _, a := range feed.Alerts {
+		reason := ""
+		if len(a.Reasons) > 0 {
+			reason = a.Reasons[0]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2f\t%d\t%d\tv%d\t%s\n",
+			a.State, a.Severity, a.Rule, a.Subject, a.Score, a.Torrents, a.IPs, a.UpdatedVersion, reason)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n%d alert(s); resume with -since %d\n", len(feed.Alerts), feed.Version)
+	return nil
 }
 
 func execute(ctx context.Context, q query.Query, lakeDir, remote string, timeout time.Duration) (*query.Result, error) {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"btpub/internal/alert"
+)
+
+// scriptedAlerts serves one canned feed on /api/v1/alerts and records
+// the query parameters it saw.
+func scriptedAlerts(t *testing.T) (*httptest.Server, *string) {
+	t.Helper()
+	var query string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/alerts" {
+			http.NotFound(w, r)
+			return
+		}
+		query = r.URL.RawQuery
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(alert.Feed{
+			Version: 11,
+			Alerts: []alert.Alert{
+				{
+					ID: "alias-cluster/shadow", Rule: "alias-cluster", Subject: "shadow",
+					Severity: alert.SeverityWarning, Score: 1.33, State: alert.StateFiring,
+					Reasons:      []string{"4 identities publish from 10.1.2.3 (threshold 3)"},
+					FiredVersion: 4, UpdatedVersion: 4, Torrents: 12, IPs: 3,
+				},
+				{
+					ID: "upload-burst/blitz", Rule: "upload-burst", Subject: "blitz",
+					Severity: alert.SeverityCritical, Score: 2.25, State: alert.StateResolved,
+					FiredVersion: 5, UpdatedVersion: 11, ResolvedVersion: 11, Torrents: 27, IPs: 4,
+				},
+			},
+		})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &query
+}
+
+func TestFetchAlertsTable(t *testing.T) {
+	srv, query := scriptedAlerts(t)
+	var out strings.Builder
+	if err := fetchAlerts(context.Background(), &out, srv.URL, 3, 2*time.Second, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if *query != "since=3&wait=2s" {
+		t.Fatalf("query = %q", *query)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"STATE", "SEVERITY", "RULE", "SUBJECT",
+		"firing", "warning", "alias-cluster", "shadow", "1.33", "v4",
+		"resolved", "critical", "upload-burst", "blitz", "2.25", "v11",
+		"4 identities publish from 10.1.2.3 (threshold 3)",
+		"2 alert(s); resume with -since 11",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFetchAlertsJSON(t *testing.T) {
+	srv, _ := scriptedAlerts(t)
+	var out strings.Builder
+	if err := fetchAlerts(context.Background(), &out, srv.URL, 0, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	var feed alert.Feed
+	if err := json.Unmarshal([]byte(out.String()), &feed); err != nil {
+		t.Fatalf("-json output is not a feed: %v\n%s", err, out.String())
+	}
+	if feed.Version != 11 || len(feed.Alerts) != 2 {
+		t.Fatalf("feed = %+v", feed)
+	}
+}

@@ -26,7 +26,14 @@
 //	curl 'localhost:8813/api/v1/publishers/classified?n=20'
 //	curl 'localhost:8813/api/v1/fakes?n=50'
 //	curl 'localhost:8813/api/v1/torrents/17/observations?limit=100'
+//	curl 'localhost:8813/api/v1/alerts?since=0&wait=25s'
 //	curl -d '{"group_by":{"key":"isp"},"aggs":["distinct-ips"]}' localhost:8813/api/v1/query
+//
+// Snapshot refreshes are incremental (internal/delta) and feed the
+// fake/scam alert engine; -live logs every changed alert and polls the
+// refresh on a timer so detection keeps pace with ingest even without
+// request traffic. -alert-webhook POSTs changed alerts to an external
+// receiver in any mode.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"btpub/internal/alert"
 	"btpub/internal/campaign"
 	"btpub/internal/dataset"
 	"btpub/internal/geoip"
@@ -72,6 +80,7 @@ func run() error {
 	salvage := flag.Bool("salvage", false, "drop corrupt segments at open instead of failing")
 	maxConc := flag.Int("max-concurrent", 0, "max in-flight API requests before shedding 429s (0 = default, negative = unlimited)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request wall-clock budget (0 = default, negative = none)")
+	webhook := flag.String("alert-webhook", "", "POST changed fake/scam alerts to this URL (one JSON array per refresh)")
 	flag.Parse()
 
 	lk, err := lake.Open(*dir, lake.Options{Salvage: *salvage, Compact: lake.CompactOptions{Auto: true}})
@@ -106,6 +115,17 @@ func run() error {
 	}
 	defer srv.Close()
 
+	var notifiers alert.MultiNotifier
+	if *live {
+		notifiers = append(notifiers, &alert.LogNotifier{Log: log.Default()})
+	}
+	if *webhook != "" {
+		notifiers = append(notifiers, &alert.WebhookNotifier{URL: *webhook})
+	}
+	if len(notifiers) > 0 {
+		srv.AlertNotifier = notifiers
+	}
+
 	if *live {
 		adv, err := population.ParseScenarios(*scenarios)
 		if err != nil {
@@ -132,6 +152,16 @@ func run() error {
 				return
 			}
 			srv.SetInspector(mon)
+		}()
+		// Refreshes are normally request-driven; while a campaign streams
+		// in, poll so alerts fire within seconds of their evidence landing
+		// even when nobody is querying.
+		go func() {
+			tick := time.NewTicker(2 * time.Second)
+			defer tick.Stop()
+			for range tick.C {
+				srv.Refresh()
+			}
 		}()
 	}
 	st := lk.Stats()

@@ -223,6 +223,53 @@
 // Retry-After; btpub-serve exposes -max-concurrent/-request-timeout,
 // and btpub-query/btpub-analyze take -timeout for their remote modes.
 //
+// # Streaming ingest: incremental snapshots and online alerts
+//
+// Serving a live lake used to mean a full Materialize + analysis.New
+// rebuild per committed version — O(lake) work per refresh.
+// internal/delta makes the refresh incremental: a Maintainer owns a
+// snapshot lineage and, on each Refresh, diffs the commit journal
+// against the version it last served. A purely additive diff (new
+// segments and meta files, nothing retired) folds just those rows into
+// the live analysis and reports mode=delta plus exactly which
+// publisher identities changed; any retirement (compaction, salvage)
+// or lineage ambiguity falls back to a from-scratch rebuild, so
+// correctness never depends on the shortcut being available. The
+// shortcut is held honest by a canonical analysis fingerprint: under
+// -race, with a campaign appending and the compactor churning, every
+// delta-built snapshot must fingerprint byte-identical to a
+// from-scratch build at the same version, and the fallback decision is
+// pinned to exactly the journal-diff retirement condition. On the
+// 1M-observation bench lake the incremental fold runs ~20x faster
+// than the full rebuild; the benchmark itself fails below 10x and its
+// allocs/op ceiling is gated like the others (make bench-serve).
+//
+// internal/alert turns each refresh into online fake/scam detection, a
+// TorrentGuard-style classifier running at ingest instead of post-hoc:
+// Engine.Evaluate scores the snapshot's changed identities (all of
+// them after a full rebuild, including vanished ones so their alerts
+// resolve) against four rules — upload-burst (a blitz wave's mass
+// publishing inside a sliding window), alias-cluster (several
+// usernames publishing from one shared seeder address), ip-churn (one
+// username across many publisher addresses) and fake-signal (the
+// classify-layer evidence: account deletion, takedown majority) —
+// accumulating scores into warning/critical severities. Alerts are
+// deduplicated by rule+subject, versioned with the journal versions
+// that fired/updated/resolved them, and served as a cursorable feed:
+// GET /api/v1/alerts?since=V returns alerts updated past the cursor,
+// ?wait= long-polls (clamped under the request timeout — a quiet
+// server answers an empty 200, never a 503). apiclient.Alerts and
+// btpub-query -alerts consume the feed; /api/v1/stats reports
+// refresh_mode, delta_refreshes, full_rebuilds and the last delta's
+// size. Push delivery is a pluggable alert.Notifier — btpub-serve
+// -live logs changed alerts and -alert-webhook POSTs them — with alert
+// state committed before delivery, so a failing sink degrades push,
+// never the feed; -live also self-polls so detection keeps pace with
+// ingest without query traffic. The end-to-end gate replays a
+// ScenarioFakeBlitz campaign into a live lake in time slices and
+// requires the blitz publishers to be firing before the campaign
+// finishes, from crawl observations alone.
+//
 // # Adversarial publisher scenarios
 //
 // population.Scenario (campaign.Spec.Scenarios; -scenarios on
@@ -280,13 +327,14 @@
 // every Fuzz* target — discovered by listing, seeded from the
 // checked-in corpora under each package's testdata/fuzz/ — and a
 // dirty-working-tree check; the bench-smoke job runs a 1x pass of the
-// campaign, lake and query-engine benchmarks whose allocs/op are gated
+// campaign, lake, query-engine and snapshot-refresh benchmarks whose
+// allocs/op are gated
 // against checked-in ceilings (ci/bench-ceilings.txt, enforced by
 // cmd/benchjson) so allocation regressions fail loudly. A nightly
 // workflow (.github/workflows/nightly.yml) fuzzes every target for 5
 // minutes, runs the exhaustive kill-point torture (make test-faults),
 // and runs the full benchmark suite — `make bench` (E1–E15)
-// plus bench-campaign/bench-lake/bench-query — uploading the
+// plus bench-campaign/bench-lake/bench-query/bench-serve — uploading the
 // BENCH_<date>.json records as artifacts, the perf trajectory. See
 // README.md for the shard/worker knobs on each binary and the measured
 // speedups.

@@ -1,0 +1,143 @@
+// Package alert is the online fake/scam publisher detector: a
+// TorrentGuard-style scoring engine that runs on every snapshot refresh
+// (full or delta) and maintains versioned, deduplicated alerts with a
+// firing/resolved lifecycle. Rules score publisher identities on signals
+// the paper and its follow-ups use — upload-rate bursts, alias clusters
+// sharing a publisher-IP pool, churned-IP linkage, and the portal
+// moderation fake signals from classify — and because the delta
+// subsystem reports exactly which identities each refresh touched, a
+// refresh scores only those, keeping detection cost proportional to the
+// delta while still flagging a planted campaign within one refresh
+// interval of its first uploads.
+//
+// Alerts are keyed by (rule, subject): re-evaluations update the
+// existing alert in place, bumping its update version only on material
+// change, so the /api/v1/alerts since-version cursor never replays
+// unchanged alerts. Every timestamp carried in an alert is data-derived
+// (record publish times, observation times) — never the wall clock — so
+// detection output is deterministic for a deterministic world.
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// State is an alert's lifecycle position.
+type State string
+
+const (
+	// StateFiring means the last evaluation still scored the subject at
+	// or above the rule threshold.
+	StateFiring State = "firing"
+	// StateResolved means a later evaluation dropped below threshold.
+	StateResolved State = "resolved"
+)
+
+// Severity buckets a score.
+type Severity string
+
+const (
+	SeverityWarning  Severity = "warning"
+	SeverityCritical Severity = "critical"
+)
+
+// Alert is one deduplicated detection, the wire format served by
+// /api/v1/alerts and posted to webhook notifiers.
+type Alert struct {
+	// ID is the dedup key: "<rule>/<subject>".
+	ID string `json:"id"`
+	// Rule names the detector that fired (see rules.go).
+	Rule string `json:"rule"`
+	// Subject is the publisher identity — a username, or "ip:<addr>" for
+	// username-less (mn08-style) records.
+	Subject string `json:"subject"`
+
+	Severity Severity `json:"severity"`
+	// Score is the rule score; 1.0 is the firing threshold.
+	Score float64 `json:"score"`
+	State State   `json:"state"`
+	// Reasons are human-readable evidence lines.
+	Reasons []string `json:"reasons,omitempty"`
+
+	// FiredVersion is the journal version whose evaluation first fired
+	// the alert; UpdatedVersion the last version that materially changed
+	// it; ResolvedVersion the version that resolved it (0 while firing).
+	FiredVersion    uint64 `json:"fired_version"`
+	UpdatedVersion  uint64 `json:"updated_version"`
+	ResolvedVersion uint64 `json:"resolved_version,omitempty"`
+
+	// Evidence counters at the last evaluation.
+	Torrents int `json:"torrents,omitempty"`
+	IPs      int `json:"ips,omitempty"`
+	Removed  int `json:"removed,omitempty"`
+	// FirstUpload / LastUpload bound the subject's publish activity
+	// (data-derived sim time, not wall clock).
+	FirstUpload time.Time `json:"first_upload,omitzero"`
+	LastUpload  time.Time `json:"last_upload,omitzero"`
+}
+
+// Feed is the /api/v1/alerts payload: every alert whose UpdatedVersion
+// is past the requested cursor, plus the version to resume from.
+type Feed struct {
+	// Version is the last evaluated journal version — the client's next
+	// since cursor.
+	Version uint64  `json:"version"`
+	Alerts  []Alert `json:"alerts"`
+}
+
+// Encode renders an alert in its canonical wire form.
+func Encode(a *Alert) ([]byte, error) {
+	return json.Marshal(a)
+}
+
+// Decode parses the canonical wire form, strictly: unknown fields,
+// malformed enums and inconsistent lifecycle versions are errors, so
+// that decode→encode is a fixpoint on every accepted input. It never
+// panics on arbitrary bytes (FuzzAlertDecode holds it to that).
+func Decode(data []byte) (*Alert, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var a Alert
+	if err := dec.Decode(&a); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("alert: trailing data after alert object")
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+func (a *Alert) validate() error {
+	if a.ID == "" || a.Rule == "" || a.Subject == "" {
+		return fmt.Errorf("alert: id, rule and subject are required")
+	}
+	if a.ID != a.Rule+"/"+a.Subject {
+		return fmt.Errorf("alert: id %q is not rule/subject", a.ID)
+	}
+	switch a.State {
+	case StateFiring, StateResolved:
+	default:
+		return fmt.Errorf("alert: unknown state %q", a.State)
+	}
+	switch a.Severity {
+	case SeverityWarning, SeverityCritical:
+	default:
+		return fmt.Errorf("alert: unknown severity %q", a.Severity)
+	}
+	if a.State == StateResolved && a.ResolvedVersion == 0 {
+		return fmt.Errorf("alert: resolved alert missing resolved_version")
+	}
+	if a.State == StateFiring && a.ResolvedVersion != 0 {
+		return fmt.Errorf("alert: firing alert carries resolved_version")
+	}
+	if a.UpdatedVersion < a.FiredVersion {
+		return fmt.Errorf("alert: updated_version %d before fired_version %d", a.UpdatedVersion, a.FiredVersion)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package alert
+
+import (
+	"context"
+	"slices"
+	"strings"
+	"sync"
+
+	"btpub/internal/delta"
+)
+
+// Engine owns the alert store: it re-scores subjects on each snapshot,
+// applies the firing/resolved lifecycle, and serves cursor reads.
+// Methods are safe for concurrent use; Evaluate calls are expected from
+// one refresh loop at a time.
+type Engine struct {
+	mu      sync.Mutex
+	alerts  map[string]*Alert // by ID
+	version uint64            // last evaluated journal version
+	waiters []chan struct{}
+}
+
+// NewEngine creates an empty alert store.
+func NewEngine() *Engine {
+	return &Engine{alerts: map[string]*Alert{}}
+}
+
+// Evaluate re-scores the identities a snapshot touched (all of them
+// after a full rebuild) and folds the results into the store. It
+// returns the alerts that materially changed at this version — newly
+// fired, re-fired, resolved, or with changed evidence — sorted by ID;
+// an empty slice means the refresh changed nothing alert-worthy.
+func (e *Engine) Evaluate(snap *delta.Snapshot) []Alert {
+	subjects := snap.Changed
+	if snap.ChangedAll {
+		subjects = make([]string, 0, len(snap.An.Facts.Users))
+		for name := range snap.An.Facts.Users {
+			subjects = append(subjects, name)
+		}
+		// A full rebuild must also re-judge subjects that vanished.
+		e.mu.Lock()
+		for _, a := range e.alerts {
+			if _, ok := snap.An.Facts.Users[a.Subject]; !ok {
+				subjects = append(subjects, a.Subject)
+			}
+		}
+		e.mu.Unlock()
+		slices.Sort(subjects)
+		subjects = slices.Compact(subjects)
+	}
+
+	type scored struct {
+		subject string
+		active  []Alert
+	}
+	results := make([]scored, 0, len(subjects))
+	for _, s := range subjects {
+		results = append(results, scored{s, evaluate(snap.An, s)})
+	}
+
+	e.mu.Lock()
+	var changed []Alert
+	v := snap.Version
+	for _, r := range results {
+		seen := map[string]bool{}
+		for i := range r.active {
+			cand := &r.active[i]
+			seen[cand.ID] = true
+			cur := e.alerts[cand.ID]
+			switch {
+			case cur == nil:
+				cand.FiredVersion, cand.UpdatedVersion = v, v
+				cp := *cand
+				e.alerts[cand.ID] = &cp
+				changed = append(changed, cp)
+			case !sameFinding(cur, cand):
+				cand.FiredVersion = cur.FiredVersion
+				if cur.State == StateResolved {
+					// Re-fire: a fresh incident at this version.
+					cand.FiredVersion = v
+				}
+				cand.UpdatedVersion = v
+				cp := *cand
+				e.alerts[cand.ID] = &cp
+				changed = append(changed, cp)
+			}
+		}
+		// Anything open for this subject that no longer scores: resolve.
+		for id, cur := range e.alerts {
+			if cur.Subject != r.subject || seen[id] || cur.State == StateResolved {
+				continue
+			}
+			cur.State = StateResolved
+			cur.ResolvedVersion, cur.UpdatedVersion = v, v
+			changed = append(changed, *cur)
+		}
+	}
+	if v > e.version {
+		e.version = v
+	}
+	if len(changed) > 0 {
+		for _, ch := range e.waiters {
+			close(ch)
+		}
+		e.waiters = nil
+	}
+	e.mu.Unlock()
+
+	slices.SortFunc(changed, func(a, b Alert) int { return strings.Compare(a.ID, b.ID) })
+	return changed
+}
+
+// Since returns every alert whose UpdatedVersion is strictly past the
+// cursor, sorted by ID, plus the version to resume from. Since(0)
+// returns the whole store.
+func (e *Engine) Since(cursor uint64) Feed {
+	e.mu.Lock()
+	feed := Feed{Version: e.version, Alerts: []Alert{}}
+	for _, a := range e.alerts {
+		if a.UpdatedVersion > cursor {
+			feed.Alerts = append(feed.Alerts, *a)
+		}
+	}
+	e.mu.Unlock()
+	slices.SortFunc(feed.Alerts, func(a, b Alert) int { return strings.Compare(a.ID, b.ID) })
+	return feed
+}
+
+// Wait long-polls: it returns as soon as Since(cursor) is non-empty —
+// immediately if it already is — or with the empty feed when ctx ends.
+func (e *Engine) Wait(ctx context.Context, cursor uint64) Feed {
+	for {
+		e.mu.Lock()
+		ready := false
+		for _, a := range e.alerts {
+			if a.UpdatedVersion > cursor {
+				ready = true
+				break
+			}
+		}
+		if ready {
+			e.mu.Unlock()
+			return e.Since(cursor)
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return e.Since(cursor)
+		}
+	}
+}
+
+// sameFinding reports whether two alerts agree on everything but the
+// lifecycle versions — the "no material change" test that keeps cursor
+// reads from replaying untouched alerts.
+func sameFinding(a, b *Alert) bool {
+	return a.State == b.State &&
+		a.Severity == b.Severity &&
+		a.Score == b.Score &&
+		a.Torrents == b.Torrents &&
+		a.IPs == b.IPs &&
+		a.Removed == b.Removed &&
+		a.FirstUpload.Equal(b.FirstUpload) &&
+		a.LastUpload.Equal(b.LastUpload) &&
+		slices.Equal(a.Reasons, b.Reasons)
+}

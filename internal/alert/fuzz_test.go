@@ -1,0 +1,66 @@
+package alert
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzAlertDecode holds the wire codec to its contract on arbitrary
+// bytes: Decode never panics, and every input it accepts canonicalizes —
+// decode→encode→decode is a fixpoint, byte-identical the second time
+// around.
+func FuzzAlertDecode(f *testing.F) {
+	seed := []Alert{
+		{
+			ID: "upload-burst/blitz-7", Rule: "upload-burst", Subject: "blitz-7",
+			Severity: SeverityCritical, Score: 2.25, State: StateFiring,
+			Reasons:      []string{"18 uploads inside one 48h0m0s window (threshold 8)"},
+			FiredVersion: 12, UpdatedVersion: 19, Torrents: 27, IPs: 4,
+			FirstUpload: time.Date(2010, 4, 8, 3, 0, 0, 0, time.UTC),
+			LastUpload:  time.Date(2010, 4, 9, 21, 30, 0, 0, time.UTC),
+		},
+		{
+			ID: "fake-signal/scammer", Rule: "fake-signal", Subject: "scammer",
+			Severity: SeverityWarning, Score: 1.4, State: StateResolved,
+			FiredVersion: 3, UpdatedVersion: 9, ResolvedVersion: 9, Removed: 7, Torrents: 10,
+		},
+		{
+			ID: "alias-cluster/ip:10.1.2.3", Rule: "alias-cluster", Subject: "ip:10.1.2.3",
+			Severity: SeverityWarning, Score: 1, State: StateFiring,
+			FiredVersion: 1, UpdatedVersion: 1,
+		},
+	}
+	for _, a := range seed {
+		b, err := Encode(&a)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"id":"x/y","rule":"x","subject":"y","state":"firing","severity":"warning"}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(data)
+		if err != nil {
+			return // rejected input: only the no-panic guarantee applies
+		}
+		enc1, err := Encode(a)
+		if err != nil {
+			t.Fatalf("accepted alert failed to encode: %v", err)
+		}
+		a2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical form rejected on re-decode: %v\n%s", err, enc1)
+		}
+		enc2, err := Encode(a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical round-trip not a fixpoint:\n%s\n%s", enc1, enc2)
+		}
+	})
+}

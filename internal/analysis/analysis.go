@@ -45,6 +45,27 @@ func New(ds *dataset.Dataset, db *geoip.DB, topK int) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	return assemble(ds, db, facts, topK), nil
+}
+
+// NewSeeded is New with the distinct-download passes replaced by
+// precomputed counts (see classify.FactsSeed) — the entry point for the
+// incremental maintainer in internal/delta, which only recounts what a
+// lake delta touched. Everything downstream of facts (groups, index,
+// aggregates) is rebuilt as in New; with an exact seed the result is
+// observably identical.
+func NewSeeded(ds *dataset.Dataset, db *geoip.DB, topK int, seed *classify.FactsSeed) (*Analysis, error) {
+	if ds == nil || db == nil {
+		return nil, errors.New("analysis: dataset and geo DB required")
+	}
+	facts, err := classify.BuildFactsSeeded(ds, db, seed)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(ds, db, facts, topK), nil
+}
+
+func assemble(ds *dataset.Dataset, db *geoip.DB, facts *classify.Facts, topK int) *Analysis {
 	return &Analysis{
 		DS:     ds,
 		DB:     db,
@@ -52,7 +73,7 @@ func New(ds *dataset.Dataset, db *geoip.DB, topK int) (*Analysis, error) {
 		Groups: facts.BuildGroups(topK, 400),
 		ByID:   ds.ByTorrentID(),
 		idx:    buildIndex(ds, db, facts),
-	}, nil
+	}
 }
 
 // GroupNames are the figure labels in display order.

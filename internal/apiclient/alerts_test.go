@@ -1,0 +1,118 @@
+// Alerts round-trips against a scripted server: parameter encoding, feed
+// decoding, retry-through-429 (GET is idempotent), and the typed error.
+package apiclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"btpub/internal/alert"
+	"btpub/internal/apiclient"
+	"btpub/internal/lakeserve"
+)
+
+func alertsServer(t *testing.T, fail int) (*apiclient.Client, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/alerts" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		if got := r.URL.Query().Get("since"); got != "7" {
+			t.Errorf("since = %q, want 7", got)
+		}
+		if got := r.URL.Query().Get("wait"); got != "2s" {
+			t.Errorf("wait = %q, want 2s", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if hits.Add(1) <= int64(fail) {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(lakeserve.ErrorBody{
+				Error: lakeserve.ErrorDetail{Code: "overloaded", Message: "scripted"},
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(alert.Feed{
+			Version: 9,
+			Alerts: []alert.Alert{{
+				ID: "upload-burst/blitz", Rule: "upload-burst", Subject: "blitz",
+				Severity: alert.SeverityCritical, Score: 2.25, State: alert.StateFiring,
+				FiredVersion: 8, UpdatedVersion: 9, Torrents: 27,
+			}},
+		})
+	}))
+	t.Cleanup(srv.Close)
+	c := apiclient.New(srv.URL)
+	c.HTTP = srv.Client()
+	c.RetryBase = time.Millisecond
+	return c, &hits
+}
+
+func TestAlertsRoundTrip(t *testing.T) {
+	c, hits := alertsServer(t, 0)
+	feed, err := c.Alerts(context.Background(), 7, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed.Version != 9 || len(feed.Alerts) != 1 {
+		t.Fatalf("feed = %+v", feed)
+	}
+	a := feed.Alerts[0]
+	if a.ID != "upload-burst/blitz" || a.Severity != alert.SeverityCritical || a.UpdatedVersion != 9 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d", hits.Load())
+	}
+}
+
+// TestAlertsRetries: the feed GET is idempotent, so push-back rides the
+// standard retry path.
+func TestAlertsRetries(t *testing.T) {
+	c, hits := alertsServer(t, 2)
+	feed, err := c.Alerts(context.Background(), 7, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feed.Alerts) != 1 || hits.Load() != 3 {
+		t.Fatalf("feed = %+v after %d hits", feed, hits.Load())
+	}
+}
+
+func TestAlertsTypedError(t *testing.T) {
+	c, _ := alertsServer(t, 100)
+	c.Retries = -1
+	_, err := c.Alerts(context.Background(), 7, 2*time.Second)
+	var se *apiclient.Error
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests || se.Code != "overloaded" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestAlertsAgainstRealServer exercises the full stack: lakeserve's
+// /api/v1/alerts through the client, cursor included.
+func TestAlertsAgainstRealServer(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	feed, err := c.Alerts(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feed.Version == 0 {
+		t.Fatalf("feed version = 0: %+v", feed)
+	}
+	rest, err := c.Alerts(ctx, feed.Version, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Alerts) != 0 {
+		t.Fatalf("cursor replayed %d alerts", len(rest.Alerts))
+	}
+}

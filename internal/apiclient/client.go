@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"btpub/internal/alert"
 	"btpub/internal/lakeserve"
 	"btpub/internal/query"
 )
@@ -282,6 +283,30 @@ func (c *Client) Fakes(ctx context.Context, n int) ([]lakeserve.FakePublisher, e
 		return nil, err
 	}
 	return rows, nil
+}
+
+// Alerts fetches the fake/scam alert feed past the since cursor (0 =
+// the whole store). A positive wait long-polls: the server holds the
+// request until an alert moves past the cursor or the wait expires
+// (empty feed either way; resume from the returned version). Keep wait
+// below the client timeout or the exchange fails first.
+func (c *Client) Alerts(ctx context.Context, since uint64, wait time.Duration) (*alert.Feed, error) {
+	v := url.Values{}
+	if since > 0 {
+		v.Set("since", strconv.FormatUint(since, 10))
+	}
+	if wait > 0 {
+		v.Set("wait", wait.String())
+	}
+	path := "/alerts"
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var feed alert.Feed
+	if err := c.do(ctx, http.MethodGet, path, nil, &feed); err != nil {
+		return nil, err
+	}
+	return &feed, nil
 }
 
 // Observations fetches one torrent's sightings (limit <= 0 keeps the

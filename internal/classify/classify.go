@@ -67,6 +67,14 @@ type Facts struct {
 // BuildFacts indexes a dataset. db resolves publisher IPs to ISPs; it may
 // be nil when ISP information is not needed.
 func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
+	return buildFacts(ds, db, nil)
+}
+
+// buildFacts is BuildFacts with optionally injected distinct-download
+// counts (see FactsSeed): the two O(observations) passes — per-torrent
+// and per-user distinct downloader counting — are skipped when a seed
+// supplies their results, everything else is computed identically.
+func buildFacts(ds *dataset.Dataset, db *geoip.DB, seed *FactsSeed) (*Facts, error) {
 	if ds == nil {
 		return nil, errors.New("classify: nil dataset")
 	}
@@ -78,7 +86,11 @@ func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
 	}
 	// Distinct downloader IPs per torrent: one pass over the columnar
 	// store's per-torrent index, no per-torrent set maps.
-	for tid, n := range ds.Obs.DistinctIPCounts() {
+	counts := seed.downloadsByTorrent()
+	if counts == nil {
+		counts = ds.Obs.DistinctIPCounts()
+	}
+	for tid, n := range counts {
 		if n > 0 {
 			f.DownloadsByTorrent[tid] = n
 			f.TotalDownloads += n
@@ -132,6 +144,12 @@ func BuildFacts(ds *dataset.Dataset, db *geoip.DB) (*Facts, error) {
 				}
 			}
 		}
+	}
+	if seed != nil {
+		for _, u := range f.Users {
+			u.Downloads = seed.UserDownloads[u.Username]
+		}
+		return f, nil
 	}
 	users2 := make([]*UserFacts, 0, len(f.Users))
 	for _, u := range f.Users {

@@ -1,0 +1,57 @@
+package delta
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"btpub/internal/analysis"
+	"btpub/internal/classify"
+)
+
+// Fingerprint hashes every observable output of an analysis snapshot:
+// the canonical dataset serialization plus the classified facts, groups
+// and the table/figure aggregates the API serves. Two snapshots with
+// equal fingerprints are indistinguishable to any consumer — the
+// equivalence gate for delta-maintained vs from-scratch builds. Internal
+// layout (intern-table order, index memos) deliberately does not
+// participate: it is allowed to differ.
+func Fingerprint(an *analysis.Analysis) (string, error) {
+	h := sha256.New()
+	if err := an.DS.Write(h); err != nil {
+		return "", err
+	}
+	groups := map[string][]string{}
+	for label, us := range map[string][]*classify.UserFacts{
+		"All": an.Groups.All, "Fake": an.Groups.Fake, "Top": an.Groups.Top,
+		"Top-HP": an.Groups.TopHP, "Top-CI": an.Groups.TopCI,
+	} {
+		for _, u := range us {
+			groups[label] = append(groups[label], u.Username)
+		}
+	}
+	observable := []any{
+		an.Facts.Users,
+		an.Facts.ByIP,
+		an.Facts.DownloadsByTorrent,
+		an.Facts.TotalTorrents,
+		an.Facts.TotalDownloads,
+		groups,
+		an.Skewness(),
+		an.ISPTable(25),
+		an.ContentTypes(),
+		an.Popularity(),
+		an.Summary(),
+		an.Seeding(0),
+	}
+	for _, v := range observable {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return "", err
+		}
+		h.Write(b)
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,312 @@
+package delta_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"btpub/internal/analysis"
+	"btpub/internal/campaign"
+	"btpub/internal/dataset"
+	"btpub/internal/delta"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+)
+
+var (
+	campOnce sync.Once
+	campRes  *campaign.Result
+	campErr  error
+)
+
+func campaignDataset(t *testing.T) (*dataset.Dataset, *geoip.DB) {
+	t.Helper()
+	campOnce.Do(func() {
+		campRes, campErr = campaign.Run(campaign.Spec{Scale: 0.01, Seed: 11, MeanDownloads: 120, Shards: 2})
+	})
+	if campErr != nil {
+		t.Fatal(campErr)
+	}
+	return campRes.Dataset, campRes.DB
+}
+
+// replay streams a finished canonical dataset into a lake as a live
+// crawl would have produced it: records and observations interleaved in
+// time order, flushed in chunks, with deliberate stragglers — some
+// observations arrive two chunks late (out of time order, forcing the
+// general merge path instead of the append fast path) and some records
+// arrive two chunks after their first observations (so those rows sit in
+// the pending buffer until the record lands). cb runs after each flush.
+func replay(t *testing.T, lk *lake.Lake, ds *dataset.Dataset, chunks int, cb func(chunk int)) {
+	t.Helper()
+	n := ds.Obs.Len()
+	obsChunk := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i * chunks / n
+		if i%13 == 5 {
+			c += 2 // straggler: arrives late, out of time order
+		}
+		if c >= chunks {
+			c = chunks - 1
+		}
+		obsChunk[i] = c
+	}
+	// A record lands in the chunk of its first observation; every 7th is
+	// held back two more chunks so its rows go through the pending path.
+	recChunk := make(map[int]int, len(ds.Torrents))
+	for _, rec := range ds.Torrents {
+		recChunk[rec.TorrentID] = chunks - 1
+	}
+	for i := n - 1; i >= 0; i-- {
+		if c, ok := recChunk[ds.Obs.TorrentID(i)]; !ok || obsChunk[i] <= c {
+			recChunk[ds.Obs.TorrentID(i)] = obsChunk[i]
+		}
+	}
+	for idx, rec := range ds.Torrents {
+		c := recChunk[rec.TorrentID]
+		if idx%7 == 3 {
+			c += 2
+		}
+		if c >= chunks {
+			c = chunks - 1
+		}
+		recChunk[rec.TorrentID] = c
+	}
+
+	lk.ExtendWindow(ds.Name, ds.Start, ds.End)
+	for c := 0; c < chunks; c++ {
+		var recs []*dataset.TorrentRecord
+		for _, rec := range ds.Torrents {
+			if recChunk[rec.TorrentID] == c {
+				recs = append(recs, rec)
+			}
+		}
+		if len(recs) > 0 {
+			if err := lk.AddTorrents(recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		switch c {
+		case chunks / 2:
+			if err := lk.AddUsers(ds.Users[:len(ds.Users)/2]); err != nil {
+				t.Fatal(err)
+			}
+		case chunks - 1:
+			if err := lk.AddUsers(ds.Users[len(ds.Users)/2:]); err != nil {
+				t.Fatal(err)
+			}
+			lk.AddDropped(ds.DroppedObservations)
+		}
+		for i := 0; i < n; i++ {
+			if obsChunk[i] == c {
+				if err := lk.Append(ds.Obs.At(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := lk.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		cb(c)
+	}
+}
+
+// fullFingerprint is the from-scratch reference at the lake's head:
+// canonical dataset bytes plus the delta fingerprint and rendered paper
+// tables.
+func fullFingerprint(t *testing.T, an *analysis.Analysis) (string, []byte) {
+	t.Helper()
+	fp, err := delta.Fingerprint(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(analysis.RenderSummary([]analysis.DatasetSummary{an.Summary()}))
+	b.WriteString(analysis.RenderSkewness(an.DS.Name, an.Skewness()))
+	b.WriteString(analysis.RenderISPTable(an.DS.Name, an.ISPTable(10)))
+	b.WriteString(analysis.RenderContrast(an.DS.Name, an.ContrastISPs(geoip.OVH, geoip.Comcast)))
+	b.WriteString(analysis.RenderContentTypes(an.DS.Name, an.ContentTypes()))
+	b.WriteString(analysis.RenderSeeding(an.DS.Name, an.Seeding(0)))
+	var buf bytes.Buffer
+	if err := an.DS.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return fp + "\n" + b.String(), buf.Bytes()
+}
+
+// TestMaintainerEquivalenceLive is the tentpole's equivalence gate: at
+// every version of a live-appending, auto-compacting lake, the
+// delta-maintained snapshot must be observably identical — analysis
+// fingerprint, rendered tables and canonical dataset bytes — to a
+// from-scratch analysis.NewFromLakeVersion build. Run under -race this
+// also exercises refreshes racing background compaction.
+func TestMaintainerEquivalenceLive(t *testing.T) {
+	ds, db := campaignDataset(t)
+	dir := filepath.Join(t.TempDir(), "lake")
+	lk, err := lake.Open(dir, lake.Options{
+		FlushRows: 2048,
+		Compact:   lake.CompactOptions{Auto: true, MinSegments: 8, TargetRows: 8192},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+
+	ctx := context.Background()
+	m := delta.NewMaintainer(lk, db, 0)
+	const chunks = 10
+	replay(t, lk, ds, chunks, func(chunk int) {
+		// Background compaction can commit between our refresh and the
+		// reference rebuild; retry until both see the same version.
+		for attempt := 0; ; attempt++ {
+			snap, err := m.Refresh(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, v, err := analysis.NewFromLakeVersion(ctx, lk, db, lake.Predicate{}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != snap.Version {
+				if attempt > 20 {
+					t.Fatalf("chunk %d: lake head kept moving (snapshot v%d, reference v%d)", chunk, snap.Version, v)
+				}
+				continue
+			}
+			gotFP, gotDS := fullFingerprint(t, snap.An)
+			wantFP, wantDS := fullFingerprint(t, ref)
+			if !bytes.Equal(gotDS, wantDS) {
+				t.Fatalf("chunk %d v%d (%s: %s): canonical dataset bytes diverged (%d vs %d bytes)",
+					chunk, v, snap.Mode, snap.Reason, len(gotDS), len(wantDS))
+			}
+			if gotFP != wantFP {
+				t.Fatalf("chunk %d v%d (%s: %s): analysis fingerprint diverged", chunk, v, snap.Mode, snap.Reason)
+			}
+			return
+		}
+	})
+
+	// Background compaction timing decides the delta/full mix here (the
+	// deterministic split is asserted in TestMaintainerFallbackExactly-
+	// OnRetirement); this run just must have refreshed at all.
+	st := m.Stats()
+	if st.FullRebuilds == 0 {
+		t.Fatal("no full rebuild recorded (the first build must be one)")
+	}
+	t.Logf("live run: %d delta refreshes, %d full rebuilds", st.DeltaRefreshes, st.FullRebuilds)
+
+	// After the full replay the lake must materialize the original
+	// dataset exactly, and the maintained snapshot must match it.
+	mat, err := lk.Materialize(ctx, lake.Predicate{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := ds.Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := mat.Write(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("replayed lake does not materialize the original dataset (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}
+
+// TestMaintainerFallbackExactlyOnRetirement asserts the fallback
+// decision procedure and the delta path's equivalence deterministically:
+// after the first build, a refresh rebuilds from scratch exactly when
+// the journal diff from the snapshot's version shows retired segments,
+// and advances incrementally otherwise — and either way the snapshot is
+// observably identical to a from-scratch build at the same version.
+// Compaction is explicit here so every retirement is deterministic.
+func TestMaintainerFallbackExactlyOnRetirement(t *testing.T) {
+	ds, db := campaignDataset(t)
+	dir := filepath.Join(t.TempDir(), "lake")
+	lk, err := lake.Open(dir, lake.Options{
+		FlushRows: 256,
+		Compact:   lake.CompactOptions{MinSegments: 2, TargetRows: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+
+	ctx := context.Background()
+	m := delta.NewMaintainer(lk, db, 0)
+	const chunks = 9
+	var fullFallbacks, deltas int
+	replay(t, lk, ds, chunks, func(chunk int) {
+		if chunk == 3 || chunk == 6 {
+			if err := lk.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev := m.Snapshot()
+		var expectFull bool
+		var retired []string
+		if prev == nil {
+			expectFull = true // first build
+		} else {
+			diff, err := lk.DiffVersions(prev.Version, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			retired = diff.RetiredSegments
+			expectFull = !diff.Incremental()
+		}
+		snap, err := m.Refresh(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && snap.Version == prev.Version {
+			return // empty chunk: no commit, no decision taken
+		}
+		gotFull := snap.Mode == delta.ModeFull
+		if gotFull != expectFull {
+			t.Fatalf("chunk %d: refresh mode %s (reason %q), but journal diff retired %v",
+				chunk, snap.Mode, snap.Reason, retired)
+		}
+		if prev != nil {
+			if gotFull {
+				fullFallbacks++
+			} else {
+				deltas++
+			}
+		}
+		ref, v, err := analysis.NewFromLakeVersion(ctx, lk, db, lake.Predicate{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != snap.Version {
+			t.Fatalf("chunk %d: snapshot v%d but head is v%d with no concurrent writer", chunk, snap.Version, v)
+		}
+		gotFP, gotDS := fullFingerprint(t, snap.An)
+		wantFP, wantDS := fullFingerprint(t, ref)
+		if !bytes.Equal(gotDS, wantDS) {
+			t.Fatalf("chunk %d v%d (%s): canonical dataset bytes diverged (%d vs %d bytes)",
+				chunk, v, snap.Mode, len(gotDS), len(wantDS))
+		}
+		if gotFP != wantFP {
+			t.Fatalf("chunk %d v%d (%s): analysis fingerprint diverged", chunk, v, snap.Mode)
+		}
+	})
+	if fullFallbacks == 0 {
+		t.Fatal("compaction never forced a fallback-to-full decision")
+	}
+	if deltas == 0 {
+		t.Fatal("no incremental refresh decision was exercised")
+	}
+	st := m.Stats()
+	if st.DeltaRefreshes != int64(deltas) || st.FullRebuilds != int64(fullFallbacks)+1 {
+		t.Fatalf("stats %+v disagree with observed decisions (%d delta, %d fallback + first build)",
+			st, deltas, fullFallbacks)
+	}
+	if fmt.Sprint(st.LastMode) == "" {
+		t.Fatal("stats missing last refresh mode")
+	}
+}

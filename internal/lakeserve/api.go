@@ -16,6 +16,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"btpub/internal/query"
 )
@@ -130,6 +131,39 @@ func (p params) format() (string, error) {
 	}
 }
 
+// version parses a journal-version cursor parameter; absent means 0
+// (from the beginning).
+func (p params) version(name string) (uint64, error) {
+	raw := p.v.Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, paramErr("%s=%q is not a version number", name, raw)
+	}
+	return n, nil
+}
+
+// duration parses a bounded Go duration parameter; absent means 0.
+func (p params) duration(name string, max time.Duration) (time.Duration, error) {
+	raw := p.v.Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, paramErr("%s=%q is not a duration (try \"30s\")", name, raw)
+	}
+	if d <= 0 {
+		return 0, paramErr("%s must be positive (got %s)", name, d)
+	}
+	if d > max {
+		return 0, paramErr("%s=%s exceeds the maximum %s", name, d, max)
+	}
+	return d, nil
+}
+
 // list parses a comma-separated parameter, rejecting empty elements.
 func (p params) list(name string) ([]string, error) {
 	raw := p.v.Get(name)
@@ -176,6 +210,8 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(method+" "+path, deprecated(rt.h))
 	}
 	mux.HandleFunc("POST "+APIPrefix+"/query", s.handleQuery)
+	// Alerts are new with /api/v1 — no legacy alias to mount.
+	mux.HandleFunc("GET "+APIPrefix+"/alerts", s.handleAlerts)
 
 	root := http.NewServeMux()
 	root.HandleFunc("GET /healthz", s.handleHealthz)

@@ -13,6 +13,7 @@
 //
 //	POST /api/v1/query                       composable query (JSON in/out, cursor pagination)
 //	GET  /api/v1/stats                       lake + snapshot status (JSON)
+//	GET  /api/v1/alerts?since=0&wait=30s     fake/scam alert feed (cursor + long-poll)
 //	GET  /api/v1/tables/1                    Table 1, dataset description
 //	GET  /api/v1/tables/2?n=10               Table 2, publishers per ISP
 //	GET  /api/v1/tables/3?isps=OVH,Comcast   Table 3, hosting vs commercial
@@ -38,8 +39,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"btpub/internal/alert"
 	"btpub/internal/analysis"
 	"btpub/internal/classify"
+	"btpub/internal/delta"
 	"btpub/internal/geoip"
 	"btpub/internal/lake"
 	"btpub/internal/population"
@@ -72,6 +75,11 @@ type Server struct {
 	// rebuild; it doubles per consecutive failure up to 64× (0 =
 	// DefaultRefreshBackoff).
 	RefreshBackoff time.Duration
+	// AlertNotifier, when set, receives the alerts each refresh materially
+	// changed (fired, re-fired, resolved, or with new evidence). Alert
+	// state is committed to the store before delivery, so a failing
+	// notifier degrades push, never /api/v1/alerts.
+	AlertNotifier alert.Notifier
 
 	insp       atomic.Pointer[classify.SiteInspector]
 	inspGen    atomic.Uint64
@@ -79,6 +87,15 @@ type Server struct {
 	snap       atomic.Pointer[snapshot]
 	refreshing atomic.Bool
 	refresh    refreshState
+
+	// The incremental maintainer and the alert engine behind it (see
+	// alerts.go); alertMu keeps evaluation strictly version-ordered.
+	maintOnce sync.Once
+	maint     *delta.Maintainer
+	alerts    *alert.Engine
+	alertMu   sync.Mutex
+	alertVer  uint64
+	alertInit bool
 
 	// The lifecycle context backs background rebuilds; Close cancels it.
 	lifeOnce sync.Once
@@ -203,21 +220,18 @@ func (s *Server) snapshotFor(w http.ResponseWriter, r *http.Request) (*snapshot,
 }
 
 func (s *Server) build(ctx context.Context) (*snapshot, error) {
-	// The pre-scan reads are only conservative floors: commits (or an
-	// inspector swap) can land between them and the scan, so the snapshot
-	// would carry data newer than its stamps and trigger one redundant
-	// rebuild — never a stale-forever cache. The scan reports the
-	// manifest version it actually used; stamp that (it can never be
-	// below the floor).
-	floor := s.Lake.Version()
+	// The inspector-generation read is only a conservative floor: a swap
+	// can land between it and the refresh, so the snapshot would carry a
+	// classification newer than its stamp and trigger one redundant
+	// rebuild — never a stale-forever cache. The maintainer reports the
+	// journal version it actually served; commits landing after it just
+	// leave the snapshot stale, exactly as before.
 	gen := s.inspGen.Load()
-	an, v, err := analysis.NewFromLakeVersion(ctx, s.Lake, s.Geo, lake.Predicate{}, s.TopK)
+	dsnap, err := s.refreshSnapshot(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if v < floor {
-		v = floor
-	}
+	an, v := dsnap.An, dsnap.Version
 	clusters := an.Facts.AliasClusters()
 	merged := an.Facts.MergeAliasClusters(clusters)
 	groups := merged.BuildGroups(s.TopK, 0)
@@ -264,10 +278,17 @@ type StatsResponse struct {
 	// the inspector — snapshot-backed answers carry the
 	// X-Btpub-Snapshot-Stale header while this is true.
 	Stale bool `json:"stale"`
+	// The embedded maintainer counters: refresh_mode ("full"/"delta"),
+	// delta_refreshes, full_rebuilds, last_refresh_reason, and the size
+	// of the last folded delta (last_delta_segments,
+	// last_delta_observations).
+	delta.Stats
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{Lake: s.Lake.Stats(), RefreshState: "idle", Stale: true}
+	s.maintainer()
+	resp.Stats = s.maint.Stats()
 	if s.refreshing.Load() {
 		resp.RefreshState = "rebuilding"
 	} else if s.refresh.open() {

@@ -1,0 +1,160 @@
+package btpub
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"btpub/internal/dataset"
+	"btpub/internal/delta"
+	"btpub/internal/geoip"
+	"btpub/internal/lake"
+)
+
+// serveBenchLake builds the serving-tier benchmark fixture: a lake of
+// ~1M observations (5k torrents × 200 obs, ~150k distinct downloader
+// addresses, 250 publishers) — the scale where full snapshot rebuilds
+// stop being free.
+func serveBenchLake(b *testing.B) (*lake.Lake, *geoip.DB) {
+	b.Helper()
+	const (
+		torrents = 5_000
+		perT     = 200
+		ips      = 150_000
+	)
+	t0 := time.Date(2010, 4, 6, 0, 0, 0, 0, time.UTC)
+	ds := &dataset.Dataset{Name: "serve-bench", Start: t0, End: t0.AddDate(0, 2, 0)}
+	for i := 0; i < torrents; i++ {
+		ds.AddTorrent(&dataset.TorrentRecord{
+			TorrentID: i, InfoHash: fmt.Sprintf("%040x", i),
+			Title: fmt.Sprintf("Content.%d", i), Category: "Video > Movies",
+			Username:    fmt.Sprintf("publisher%03d", i%250),
+			PublisherIP: fmt.Sprintf("11.0.%d.%d", i%40, i%200),
+			Published:   t0.Add(time.Duration(i) * time.Minute),
+		})
+		for j := 0; j < perT; j++ {
+			k := (i*131 + j*7919) % ips
+			ds.AddObservation(dataset.Observation{
+				TorrentID: i,
+				IP:        fmt.Sprintf("20.%d.%d.%d", k>>16, k>>8&255, k&255),
+				At:        t0.Add(time.Duration(i)*time.Minute + time.Duration(j)*30*time.Second),
+				Seeder:    j%50 == 0,
+			})
+		}
+	}
+	lk, err := lake.Open(filepath.Join(b.TempDir(), "lake"), lake.Options{FlushRows: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { lk.Close() })
+	if err := lk.ImportDataset(dataset.Merge("serve-bench", ds)); err != nil {
+		b.Fatal(err)
+	}
+	db, err := geoip.DefaultDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lk, db
+}
+
+// appendServeDelta lands one small flush — 20 new torrents and 1k
+// observations, the size of one refresh interval's worth of live crawl.
+func appendServeDelta(b *testing.B, lk *lake.Lake, round int) {
+	b.Helper()
+	t0 := time.Date(2010, 6, 6, 0, 0, 0, 0, time.UTC).Add(time.Duration(round) * time.Hour)
+	base := lk.NextTorrentID()
+	recs := make([]*dataset.TorrentRecord, 20)
+	for i := range recs {
+		recs[i] = &dataset.TorrentRecord{
+			TorrentID: base + i, InfoHash: fmt.Sprintf("%040x", base+i),
+			Title: "Live", Category: "Video > Movies",
+			Username:    fmt.Sprintf("publisher%03d", (base+i)%250),
+			PublisherIP: fmt.Sprintf("11.0.%d.%d", (base+i)%40, (base+i)%200),
+			Published:   t0.Add(time.Duration(i) * time.Minute),
+		}
+	}
+	if err := lk.AddTorrents(recs); err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j < 1000; j++ {
+		k := (round*1000 + j*7919) % 150_000
+		err := lk.Append(dataset.Observation{
+			TorrentID: base + j%20,
+			IP:        fmt.Sprintf("20.%d.%d.%d", k>>16, k>>8&255, k&255),
+			At:        t0.Add(time.Duration(j) * time.Second),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := lk.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSnapshotRefreshFull measures the from-scratch path: one op is
+// a cold maintainer's first Refresh over the 1M-observation lake — read
+// every segment, sort every column, count every aggregate.
+func BenchmarkSnapshotRefreshFull(b *testing.B) {
+	lk, db := serveBenchLake(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := delta.NewMaintainer(lk, db, 0)
+		snap, err := m.Refresh(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.Mode != delta.ModeFull {
+			b.Fatalf("mode = %s", snap.Mode)
+		}
+	}
+}
+
+// BenchmarkSnapshotRefreshIncremental measures the steady-state serving
+// path: one op folds one freshly flushed segment (20 records, 1k rows)
+// into a warm snapshot lineage. The per-op appends run off the clock.
+// After the measured loop it times one full rebuild at the same final
+// version and enforces the acceptance floor: incremental must be >= 10x
+// faster than full on this lake.
+func BenchmarkSnapshotRefreshIncremental(b *testing.B) {
+	lk, db := serveBenchLake(b)
+	ctx := context.Background()
+	m := delta.NewMaintainer(lk, db, 0)
+	if _, err := m.Refresh(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		appendServeDelta(b, lk, i)
+		b.StartTimer()
+		snap, err := m.Refresh(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.Mode != delta.ModeDelta {
+			b.Fatalf("op %d: mode = %s (%s)", i, snap.Mode, snap.Reason)
+		}
+	}
+	b.StopTimer()
+	incPerOp := b.Elapsed() / time.Duration(b.N)
+
+	fullStart := time.Now()
+	fullSnap, err := delta.NewMaintainer(lk, db, 0).Refresh(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullDur := time.Since(fullStart)
+	if fullSnap.Version != m.Snapshot().Version {
+		b.Fatalf("full rebuild at v%d, incremental at v%d", fullSnap.Version, m.Snapshot().Version)
+	}
+	ratio := float64(fullDur) / float64(incPerOp)
+	b.ReportMetric(ratio, "full/incr")
+	if ratio < 10 {
+		b.Fatalf("incremental refresh only %.1fx faster than full (incremental %v/op, full %v) — acceptance floor is 10x",
+			ratio, incPerOp, fullDur)
+	}
+}
